@@ -1,0 +1,127 @@
+// Fig. 1 — the running example as a workload, at paper scale and scaled
+// up.  Measures the full pipeline on the company database (CPS, Q1–Q4,
+// COP, DCIP) and a synthetic generalization: N employees with Mary-like
+// triples of stale records under ϕ1–ϕ3.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/ccqa.h"
+#include "src/core/certain_order.h"
+#include "src/core/consistency.h"
+#include "src/core/deterministic.h"
+#include "src/query/parser.h"
+#include "tests/fixtures.h"
+
+namespace {
+
+using namespace currency;  // NOLINT
+using currency::testing::MakeQ1;
+using currency::testing::MakeQ2;
+using currency::testing::MakeQ3;
+using currency::testing::MakeQ4;
+using currency::testing::MakeS0;
+
+void BM_Fig1_Consistency(benchmark::State& state) {
+  core::Specification s0 = MakeS0();
+  for (auto _ : state) {
+    auto outcome = core::DecideConsistency(s0);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetLabel("CPS on the paper instance");
+}
+BENCHMARK(BM_Fig1_Consistency)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_Queries(benchmark::State& state) {
+  core::Specification s0 = MakeS0();
+  auto queries = {MakeQ1(), MakeQ2(), MakeQ3(), MakeQ4()};
+  for (auto _ : state) {
+    for (const auto& q : queries) {
+      auto answers = core::CertainCurrentAnswers(s0, q);
+      benchmark::DoNotOptimize(answers);
+    }
+  }
+  state.SetLabel("Q1-Q4 certain answers (Example 2.5)");
+}
+BENCHMARK(BM_Fig1_Queries)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_CopDcip(benchmark::State& state) {
+  core::Specification s0 = MakeS0();
+  AttrIndex salary = s0.instance(0).schema().IndexOf("salary").value();
+  core::CurrencyOrderQuery cop{"Emp", {{salary, 0, 2}}};
+  for (auto _ : state) {
+    auto certain = core::IsCertainOrder(s0, cop);
+    auto det = core::IsDeterministicForRelation(s0, "Emp");
+    benchmark::DoNotOptimize(certain);
+    benchmark::DoNotOptimize(det);
+  }
+  state.SetLabel("COP + DCIP (Examples 3.2, 3.3)");
+}
+BENCHMARK(BM_Fig1_CopDcip)->Unit(benchmark::kMillisecond);
+
+// Scaled variant: range(0) employees, each with the Mary pattern (three
+// stale records), under ϕ1 + ϕ2(+status) + ϕ3.
+core::Specification MakeScaledEmp(int employees) {
+  core::Specification spec;
+  Schema schema =
+      Schema::Make("Emp", {"LN", "address", "salary", "status"}).value();
+  Relation emp(schema);
+  for (int e = 0; e < employees; ++e) {
+    Value eid("p" + std::to_string(e));
+    (void)emp.AppendValues({eid, Value("Maiden" + std::to_string(e)),
+                            Value("Old St"), Value(50 + e % 10),
+                            Value("single")});
+    (void)emp.AppendValues({eid, Value("Married" + std::to_string(e)),
+                            Value("Mid Ave"), Value(50 + e % 10),
+                            Value("married")});
+    (void)emp.AppendValues({eid, Value("Married" + std::to_string(e)),
+                            Value("New Rd"), Value(80 + e % 10),
+                            Value("married")});
+  }
+  (void)spec.AddInstance(core::TemporalInstance(std::move(emp)));
+  (void)spec.AddConstraintText(
+      "FORALL s, t IN Emp: s.salary > t.salary -> t PREC[salary] s");
+  (void)spec.AddConstraintText(
+      "FORALL s, t IN Emp: s.status = 'married' AND t.status = 'single' "
+      "-> t PREC[LN] s");
+  (void)spec.AddConstraintText(
+      "FORALL s, t IN Emp: s.status = 'married' AND t.status = 'single' "
+      "-> t PREC[status] s");
+  (void)spec.AddConstraintText(
+      "FORALL s, t IN Emp: t PREC[salary] s -> t PREC[address] s");
+  return spec;
+}
+
+void BM_Fig1_ScaledDcip(benchmark::State& state) {
+  const int employees = static_cast<int>(state.range(0));
+  core::Specification spec = MakeScaledEmp(employees);
+  for (auto _ : state) {
+    auto det = core::IsDeterministicForRelation(spec, "Emp");
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["employees"] = employees;
+  state.SetLabel("DCIP on N Mary-like employees");
+}
+BENCHMARK(BM_Fig1_ScaledDcip)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_ScaledQuery(benchmark::State& state) {
+  const int employees = static_cast<int>(state.range(0));
+  core::Specification spec = MakeScaledEmp(employees);
+  query::Query q = query::ParseQuery(
+                       "Q(s) := EXISTS e, ln, a, st: Emp(e, ln, a, s, st) "
+                       "AND e = 'p0'")
+                       .value();
+  for (auto _ : state) {
+    auto answers = core::CertainCurrentAnswers(spec, q);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetLabel("certain salary of one employee among N");
+}
+BENCHMARK(BM_Fig1_ScaledQuery)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

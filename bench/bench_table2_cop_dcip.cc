@@ -1,0 +1,107 @@
+// Table II, COP and DCIP rows — empirical regeneration.
+//
+// Paper claims: both problems are coNP-complete in data complexity
+// (3SAT-complement family, Theorem 3.4) and PTIME without denial
+// constraints via PO∞ containment / sink agreement (Theorem 6.1,
+// Lemma 6.2).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/core/certain_order.h"
+#include "src/core/deterministic.h"
+#include "src/reductions/to_cop.h"
+
+namespace {
+
+using namespace currency;  // NOLINT
+
+sat::Qbf MakeSat3(int vars, int clauses, unsigned seed) {
+  std::mt19937 rng(seed);
+  return sat::RandomQbf({vars}, /*first_exists=*/true, clauses, /*cnf=*/true,
+                        &rng);
+}
+
+// coNP-hard family: certain ordering on the 3SAT gadget.
+void BM_Cop_Sat3(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  sat::Qbf qbf = MakeSat3(vars, 2 * vars, 11);
+  auto gadget = reductions::Sat3ToCopDcip(qbf);
+  for (auto _ : state) {
+    auto certain = core::IsCertainOrder(gadget->spec, gadget->order);
+    benchmark::DoNotOptimize(certain);
+  }
+  state.counters["rows"] = 6.0 * vars + 1;
+  state.SetLabel("coNP-hard family (Thm 3.4)");
+}
+BENCHMARK(BM_Cop_Sat3)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+
+// Same gadget decides DCIP.
+void BM_Dcip_Sat3(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  sat::Qbf qbf = MakeSat3(vars, 2 * vars, 13);
+  auto gadget = reductions::Sat3ToCopDcip(qbf);
+  for (auto _ : state) {
+    auto det = core::IsDeterministicForRelation(gadget->spec, "RC");
+    benchmark::DoNotOptimize(det);
+  }
+  state.SetLabel("coNP-hard family (Thm 3.4)");
+}
+BENCHMARK(BM_Dcip_Sat3)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+
+// Tractable case: COP via PO∞ on a constraint-free copy network.
+core::Specification MakeCopyNetwork(int entities) {
+  core::Specification spec;
+  Schema rs = Schema::Make("R", {"A", "B"}).value();
+  Relation r(rs);
+  for (int e = 0; e < entities; ++e) {
+    Value eid("e" + std::to_string(e));
+    (void)r.AppendValues({eid, Value(0), Value(0)});
+    (void)r.AppendValues({eid, Value(1), Value(1)});
+    (void)r.AppendValues({eid, Value(2), Value(2)});
+  }
+  core::TemporalInstance rinst(std::move(r));
+  for (int e = 0; e < entities; ++e) {
+    (void)rinst.AddOrder(1, 3 * e, 3 * e + 1);
+    (void)rinst.AddOrder(1, 3 * e + 1, 3 * e + 2);
+    (void)rinst.AddOrder(2, 3 * e, 3 * e + 2);
+  }
+  (void)spec.AddInstance(std::move(rinst));
+  return spec;
+}
+
+void BM_CopPtime_NoConstraints(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  core::Specification spec = MakeCopyNetwork(entities);
+  core::CurrencyOrderQuery query;
+  query.relation = "R";
+  for (int e = 0; e < entities; ++e) {
+    query.pairs.push_back({1, 3 * e, 3 * e + 2});
+  }
+  for (auto _ : state) {
+    auto certain = core::IsCertainOrder(spec, query);
+    benchmark::DoNotOptimize(certain);
+  }
+  state.SetLabel("PTIME without constraints (Thm 6.1 / Lemma 6.2)");
+}
+BENCHMARK(BM_CopPtime_NoConstraints)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DcipPtime_NoConstraints(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  core::Specification spec = MakeCopyNetwork(entities);
+  for (auto _ : state) {
+    auto det = core::IsDeterministicForRelation(spec, "R");
+    benchmark::DoNotOptimize(det);
+  }
+  state.SetLabel("PTIME without constraints (Thm 6.1, sink agreement)");
+}
+BENCHMARK(BM_DcipPtime_NoConstraints)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Table III, CPP / ECP / BCP rows — empirical regeneration, plus the
+// Fig. 3 (Mgr) workload of Example 4.1.
+//
+// Paper claims: CPP is Πp2-complete in data complexity (Fig. 5 family),
+// ECP is O(1) for consistent inputs (Proposition 5.2), BCP is
+// Σp3/Σp4-complete (Fig. 6 family); SP-without-constraints is PTIME
+// (Theorem 6.4).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/core/preservation.h"
+#include "src/query/parser.h"
+#include "src/reductions/to_bcp.h"
+#include "src/reductions/to_cpp.h"
+#include "tests/fixtures.h"
+
+namespace {
+
+using namespace currency;  // NOLINT
+
+// Πp2-hard family (data complexity): the Fig. 5 gadget with range(0)
+// ∀-variables.  The CPP solver walks the extension lattice with an inner
+// CCQA oracle — doubly exponential pressure, so the range is tiny.
+void BM_Cpp_Fig5(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(3);
+  sat::Qbf qbf = sat::RandomQbf({n, 1}, /*first_exists=*/false, 2,
+                                /*cnf=*/true, &rng);
+  auto gadget = reductions::PiP2ToCppData(qbf);
+  for (auto _ : state) {
+    auto preserving = core::IsCurrencyPreserving(gadget->spec, gadget->query,
+                                                 gadget->options);
+    benchmark::DoNotOptimize(preserving);
+  }
+  state.SetLabel("Πp2-hard family (Thm 5.1(3), Fig. 5)");
+}
+BENCHMARK(BM_Cpp_Fig5)->DenseRange(1, 2)->Unit(benchmark::kMillisecond);
+
+// Πp3-hard family (combined complexity): the Fig. 4 gadget, smallest
+// instance — one variable per quantifier block, three nested solvers.
+void BM_Cpp_Fig4(benchmark::State& state) {
+  std::mt19937 rng(29);
+  sat::Qbf qbf = sat::RandomQbf({1, 1, 1}, /*first_exists=*/true, 2,
+                                /*cnf=*/true, &rng);
+  auto gadget = reductions::PiP3ToCpp(qbf);
+  for (auto _ : state) {
+    auto preserving = core::IsCurrencyPreserving(gadget->spec, gadget->query,
+                                                 gadget->options);
+    benchmark::DoNotOptimize(preserving);
+  }
+  state.SetLabel("Πp3-hard family (Thm 5.1(1), Fig. 4)");
+}
+BENCHMARK(BM_Cpp_Fig4)->Unit(benchmark::kMillisecond);
+
+// CPP on the paper's own Mgr example (Fig. 3 / Example 4.1).
+void BM_Cpp_Fig3_Mgr(benchmark::State& state) {
+  core::Specification s1 = currency::testing::MakeS1();
+  query::Query q2 = currency::testing::MakeQ2();
+  for (auto _ : state) {
+    auto preserving = core::IsCurrencyPreserving(s1, q2);
+    benchmark::DoNotOptimize(preserving);
+  }
+  state.SetLabel("Fig. 3 workload: ρ not preserving for Q2");
+}
+BENCHMARK(BM_Cpp_Fig3_Mgr)->Unit(benchmark::kMillisecond);
+
+// ECP: O(1) in the size of the extension space — the cost is one
+// consistency check, independent of how many imports are possible
+// (Proposition 5.2).  The spec grows; the answer is instantaneous
+// relative to CPP on the same input.
+void BM_Ecp_ConstantTime(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  core::Specification spec;
+  Schema rs = Schema::Make("Src", {"A"}).value();
+  Relation src(rs);
+  for (int e = 0; e < entities; ++e) {
+    (void)src.AppendValues({Value("s" + std::to_string(e)), Value(e)});
+  }
+  (void)spec.AddInstance(core::TemporalInstance(std::move(src)));
+  Schema ts = Schema::Make("Tgt", {"A"}).value();
+  Relation tgt(ts);
+  for (int e = 0; e < entities; ++e) {
+    (void)tgt.AppendValues({Value("t" + std::to_string(e)), Value(e)});
+  }
+  (void)spec.AddInstance(core::TemporalInstance(std::move(tgt)));
+  copy::CopySignature sig;
+  sig.target_relation = "Tgt";
+  sig.target_attrs = {"A"};
+  sig.source_relation = "Src";
+  sig.source_attrs = {"A"};
+  (void)spec.AddCopyFunction(copy::CopyFunction(sig));
+  query::Query q = query::ParseQuery("Q(x) := EXISTS e: Tgt(e, x)").value();
+  for (auto _ : state) {
+    auto can = core::CanExtendToCurrencyPreserving(spec, q);
+    benchmark::DoNotOptimize(can);
+  }
+  state.counters["possible_imports"] =
+      static_cast<double>(entities) * entities;
+  state.SetLabel("O(1) modulo one CPS check (Prop 5.2)");
+}
+BENCHMARK(BM_Ecp_ConstantTime)
+    ->RangeMultiplier(4)
+    ->Range(8, 512)
+    ->Unit(benchmark::kMillisecond);
+
+// Σp4-hard family: the Fig. 6 BCP gadget (W/X/Y/Z all singleton blocks —
+// the smallest instance already stacks four quantifier levels).
+void BM_Bcp_Fig6(benchmark::State& state) {
+  std::mt19937 rng(17);
+  sat::Qbf qbf = sat::RandomQbf({1, 1, 1, 1}, /*first_exists=*/true, 2,
+                                /*cnf=*/false, &rng);
+  auto gadget = reductions::SigmaP4ToBcp(qbf);
+  for (auto _ : state) {
+    auto bounded = core::HasBoundedCurrencyPreservingExtension(
+        gadget->spec, gadget->query, gadget->k, gadget->options);
+    benchmark::DoNotOptimize(bounded);
+  }
+  state.SetLabel("Σp4-hard family (Thm 5.3, Fig. 6)");
+}
+BENCHMARK(BM_Bcp_Fig6)->Unit(benchmark::kMillisecond);
+
+// BCP on the Mgr example: one import within budget flips Q2 for good.
+void BM_Bcp_Fig3_Mgr(benchmark::State& state) {
+  core::Specification s1 = currency::testing::MakeS1();
+  query::Query q2 = currency::testing::MakeQ2();
+  for (auto _ : state) {
+    auto bounded = core::HasBoundedCurrencyPreservingExtension(s1, q2, 1);
+    benchmark::DoNotOptimize(bounded);
+  }
+  state.SetLabel("Fig. 3 workload: k = 1 suffices");
+}
+BENCHMARK(BM_Bcp_Fig3_Mgr)->Unit(benchmark::kMillisecond);
+
+// Tractable flavour (Theorem 6.4): CPP with an SP query, no constraints;
+// the inner CCQA calls ride the Prop 6.3 fast path.
+void BM_CppSp_NoConstraints(benchmark::State& state) {
+  const int sources = static_cast<int>(state.range(0));
+  core::Specification spec;
+  Schema rs = Schema::Make("Src", {"A"}).value();
+  Relation src(rs);
+  for (int s = 0; s < sources; ++s) {
+    (void)src.AppendValues({Value("s"), Value(s % 3)});
+  }
+  (void)spec.AddInstance(core::TemporalInstance(std::move(src)));
+  Schema ts = Schema::Make("Tgt", {"A"}).value();
+  Relation tgt(ts);
+  copy::CopySignature sig;
+  sig.target_relation = "Tgt";
+  sig.target_attrs = {"A"};
+  sig.source_relation = "Src";
+  sig.source_attrs = {"A"};
+  copy::CopyFunction fn(sig);
+  auto t0 = tgt.AppendValues({Value("t"), Value(0)});
+  (void)fn.Map(*t0, 0);
+  (void)spec.AddInstance(core::TemporalInstance(std::move(tgt)));
+  (void)spec.AddCopyFunction(std::move(fn));
+  query::Query q = query::ParseQuery("Q(x) := EXISTS e: Tgt(e, x)").value();
+  core::PreservationOptions options;
+  options.skip_duplicate_imports = true;
+  options.max_atoms = 24;
+  for (auto _ : state) {
+    auto preserving = core::IsCurrencyPreserving(spec, q, options);
+    benchmark::DoNotOptimize(preserving);
+  }
+  state.SetLabel("SP query, no constraints (Thm 6.4 flavour)");
+}
+BENCHMARK(BM_CppSp_NoConstraints)->DenseRange(3, 9, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace

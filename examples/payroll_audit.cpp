@@ -1,0 +1,113 @@
+// Payroll audit — denial constraints in anger (Sections 2–3).
+//
+// An HR system holds multiple unstamped payroll rows per employee.
+// Business rules supply currency semantics:
+//   ρ1  salaries never decrease,
+//   ρ2  the row with the newest salary carries the newest grade,
+//   ρ3  grade changes are promotions: 'senior' rows are newer than
+//       'junior' rows.
+// The audit asks: is the rule set even satisfiable on this data (CPS)?
+// Which employees' current salary is beyond doubt (COP / DCIP)?  And it
+// demonstrates how a contradictory rule is caught as inconsistency.
+
+#include <cstdlib>
+#include <iostream>
+#include <random>
+
+#include "src/core/ccqa.h"
+#include "src/core/certain_order.h"
+#include "src/core/consistency.h"
+#include "src/core/deterministic.h"
+#include "src/core/specification.h"
+#include "src/query/parser.h"
+
+namespace {
+
+using namespace currency;        // NOLINT
+using namespace currency::core;  // NOLINT
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  Check(result.status());
+  return std::move(result).value();
+}
+
+Specification BuildPayroll(int employees, std::mt19937* rng) {
+  Specification spec;
+  Schema schema = Unwrap(Schema::Make("Payroll", {"salary", "grade"}));
+  Relation payroll(schema);
+  std::uniform_int_distribution<int> base(40, 70);
+  std::uniform_int_distribution<int> raise(5, 20);
+  for (int e = 0; e < employees; ++e) {
+    Value eid("emp" + std::to_string(e));
+    int start = base(*rng);
+    int mid = start + raise(*rng);
+    int top = mid + raise(*rng);
+    Check(payroll.AppendValues({eid, Value(start), Value("junior")}).status());
+    Check(payroll.AppendValues({eid, Value(mid), Value("junior")}).status());
+    Check(payroll.AppendValues({eid, Value(top), Value("senior")}).status());
+  }
+  Check(spec.AddInstance(TemporalInstance(std::move(payroll))));
+  Check(spec.AddConstraintText(
+      "FORALL s, t IN Payroll: s.salary > t.salary -> t PREC[salary] s"));
+  Check(spec.AddConstraintText(
+      "FORALL s, t IN Payroll: t PREC[salary] s -> t PREC[grade] s"));
+  Check(spec.AddConstraintText(
+      "FORALL s, t IN Payroll: s.grade = 'senior' AND t.grade = 'junior' "
+      "-> t PREC[grade] s"));
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937 rng(7);
+  const int kEmployees = 40;
+  Specification spec = BuildPayroll(kEmployees, &rng);
+
+  CpsOutcome cps = Unwrap(DecideConsistency(spec));
+  std::cout << "CPS: payroll rules are "
+            << (cps.consistent ? "satisfiable on the data" : "CONTRADICTORY")
+            << "\n";
+
+  // DCIP: with monotone salaries and grade tracking, every employee's
+  // current row is determined.
+  std::cout << "DCIP: current payroll instance deterministic?  "
+            << (Unwrap(IsDeterministicForRelation(spec, "Payroll")) ? "yes"
+                                                                    : "no")
+            << "\n";
+
+  // COP: for employee 0, rows 0 ≺ 2 in salary must be certain.
+  AttrIndex salary = Unwrap(spec.instance(0).schema().IndexOf("salary"));
+  CurrencyOrderQuery cop{"Payroll", {{salary, 0, 2}}};
+  std::cout << "COP: emp0's first row certainly older than its third?  "
+            << (Unwrap(IsCertainOrder(spec, cop)) ? "yes" : "no") << "\n";
+
+  // Certain current salary of employee 0 (SP query; constraints force the
+  // general solver, Corollary 3.7's setting).
+  query::Query q = Unwrap(query::ParseQuery(
+      "Q(s) := EXISTS g: Payroll('emp0', s, g)"));
+  auto answers = Unwrap(CertainCurrentAnswers(spec, q));
+  std::cout << "Certain current salary of emp0: ";
+  for (const Tuple& t : answers) std::cout << t.ToString();
+  std::cout << "\n";
+
+  // Now inject a contradictory rule — "junior rows are newest" — and show
+  // CPS catching it (the interaction that motivates Theorem 3.1).
+  Check(spec.AddConstraintText(
+      "FORALL s, t IN Payroll: s.grade = 'junior' AND t.grade = 'senior' "
+      "-> t PREC[grade] s"));
+  CpsOutcome broken = Unwrap(DecideConsistency(spec));
+  std::cout << "After adding the contradictory promotion rule: "
+            << (broken.consistent ? "still consistent?!" : "inconsistent, "
+                "as expected — the audit flags the rule set")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Comparison operators shared by the query language and the built-in
+// predicates of denial constraints (Section 2: "possibly other built-in
+// predicates defined on particular domains").
+
+#ifndef CURRENCY_SRC_COMMON_CMP_H_
+#define CURRENCY_SRC_COMMON_CMP_H_
+
+#include <string>
+
+#include "src/common/value.h"
+
+namespace currency {
+
+/// Binary comparison operator.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// "=", "!=", "<", "<=", ">", ">=".
+inline const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+/// Evaluates `lhs op rhs`.  Equality follows Value::operator== (numeric
+/// across Int/Double).  Ordered comparisons require both operands numeric,
+/// both strings, or both bools; mixed-kind ordered comparisons are false.
+inline bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    default:
+      break;
+  }
+  bool lt, gt;
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    lt = lhs.NumericValue() < rhs.NumericValue();
+    gt = lhs.NumericValue() > rhs.NumericValue();
+  } else if (lhs.kind() == ValueKind::kString &&
+             rhs.kind() == ValueKind::kString) {
+    lt = lhs.AsString() < rhs.AsString();
+    gt = lhs.AsString() > rhs.AsString();
+  } else if (lhs.kind() == ValueKind::kBool &&
+             rhs.kind() == ValueKind::kBool) {
+    lt = lhs.AsBool() < rhs.AsBool();
+    gt = lhs.AsBool() > rhs.AsBool();
+  } else {
+    return false;
+  }
+  switch (op) {
+    case CmpOp::kLt:
+      return lt;
+    case CmpOp::kLe:
+      return !gt;
+    case CmpOp::kGt:
+      return gt;
+    case CmpOp::kGe:
+      return !lt;
+    default:
+      return false;
+  }
+}
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_COMMON_CMP_H_

@@ -1,0 +1,138 @@
+#include "src/common/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace currency {
+
+Result<std::vector<Token>> LexText(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      t.kind = Tok::kIdent;
+      t.text = text.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n && text[i + 1] != '>' &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i + 1;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '.')) {
+        if (text[j] == '.') is_double = true;
+        ++j;
+      }
+      t.kind = Tok::kNumber;
+      t.text = text.substr(i, j - i);
+      t.value = is_double ? Value(std::strtod(t.text.c_str(), nullptr))
+                          : Value(static_cast<int64_t>(
+                                std::strtoll(t.text.c_str(), nullptr, 10)));
+      i = j;
+    } else if (c == '\'' || c == '"') {
+      size_t j = i + 1;
+      while (j < n && text[j] != c) ++j;
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(i));
+      }
+      t.kind = Tok::kString;
+      t.text = text.substr(i + 1, j - i - 1);
+      t.value = Value(t.text);
+      i = j + 1;
+    } else if (c == '(') {
+      t.kind = Tok::kLParen;
+      ++i;
+    } else if (c == ')') {
+      t.kind = Tok::kRParen;
+      ++i;
+    } else if (c == '[') {
+      t.kind = Tok::kLBracket;
+      ++i;
+    } else if (c == ']') {
+      t.kind = Tok::kRBracket;
+      ++i;
+    } else if (c == ',') {
+      t.kind = Tok::kComma;
+      ++i;
+    } else if (c == '.') {
+      t.kind = Tok::kDot;
+      ++i;
+    } else if (c == ':') {
+      if (i + 1 < n && text[i + 1] == '=') {
+        t.kind = Tok::kAssign;
+        i += 2;
+      } else {
+        t.kind = Tok::kColon;
+        ++i;
+      }
+    } else if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      t.kind = Tok::kArrow;
+      i += 2;
+    } else if (c == '=') {
+      t.kind = Tok::kCmp;
+      t.cmp = CmpOp::kEq;
+      ++i;
+    } else if (c == '!' && i + 1 < n && text[i + 1] == '=') {
+      t.kind = Tok::kCmp;
+      t.cmp = CmpOp::kNe;
+      i += 2;
+    } else if (c == '<') {
+      t.kind = Tok::kCmp;
+      if (i + 1 < n && text[i + 1] == '=') {
+        t.cmp = CmpOp::kLe;
+        i += 2;
+      } else {
+        t.cmp = CmpOp::kLt;
+        ++i;
+      }
+    } else if (c == '>') {
+      t.kind = Tok::kCmp;
+      if (i + 1 < n && text[i + 1] == '=') {
+        t.cmp = CmpOp::kGe;
+        i += 2;
+      } else {
+        t.cmp = CmpOp::kGt;
+        ++i;
+      }
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at position " +
+                                     std::to_string(i));
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = Tok::kEnd;
+  end.pos = n;
+  out.push_back(end);
+  return out;
+}
+
+bool TokenIsKeyword(const Token& t, const char* kw) {
+  if (t.kind != Tok::kIdent) return false;
+  size_t len = 0;
+  while (kw[len] != '\0') ++len;
+  if (t.text.size() != len) return false;
+  for (size_t i = 0; i < len; ++i) {
+    if (std::toupper(static_cast<unsigned char>(t.text[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace currency

@@ -1,0 +1,52 @@
+// A small shared lexer for the two text DSLs in this library (queries and
+// denial constraints).  Produces identifiers, numeric/string literals,
+// punctuation and comparison operators.
+
+#ifndef CURRENCY_SRC_COMMON_LEXER_H_
+#define CURRENCY_SRC_COMMON_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/cmp.h"
+#include "src/common/result.h"
+#include "src/common/value.h"
+
+namespace currency {
+
+/// Token categories.
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kColon,     // :
+  kAssign,    // :=
+  kDot,       // .
+  kArrow,     // ->
+  kCmp,       // = != < <= > >=
+  kEnd,
+};
+
+/// A lexed token.  `value` is set for numbers and strings; `cmp` for kCmp.
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  Value value;
+  CmpOp cmp = CmpOp::kEq;
+  size_t pos = 0;
+};
+
+/// Tokenizes `text`; the result always ends with a kEnd token.
+Result<std::vector<Token>> LexText(const std::string& text);
+
+/// Case-insensitive keyword test (`kw` must be uppercase).
+bool TokenIsKeyword(const Token& t, const char* kw);
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_COMMON_LEXER_H_

@@ -1,0 +1,78 @@
+// Result<T>: a value or a Status, in the spirit of arrow::Result.
+
+#ifndef CURRENCY_SRC_COMMON_RESULT_H_
+#define CURRENCY_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace currency {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed.  Accessing the value of a failed Result aborts, so
+/// callers must test ok() (or use ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.  Constructing from an OK
+  /// status is a programming error and aborts.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure Status, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value.  Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Convenience accessors mirroring std::optional.
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// otherwise assigns the value.  Usage:
+///   ASSIGN_OR_RETURN(auto rel, BuildRelation(...));
+#define ASSIGN_OR_RETURN(lhs, expr)                            \
+  ASSIGN_OR_RETURN_IMPL(CURRENCY_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                          \
+  if (!tmp.ok()) return tmp.status();         \
+  lhs = std::move(tmp).value()
+
+#define CURRENCY_CONCAT_INNER(a, b) a##b
+#define CURRENCY_CONCAT(a, b) CURRENCY_CONCAT_INNER(a, b)
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_COMMON_RESULT_H_

@@ -1,0 +1,99 @@
+// Status: error signalling without exceptions (Arrow / RocksDB idiom).
+//
+// All fallible public APIs in this library return Status or Result<T>
+// (see result.h).  Exceptions are not used, following the Google C++
+// style guide as adopted by Arrow and RocksDB.
+
+#ifndef CURRENCY_SRC_COMMON_STATUS_H_
+#define CURRENCY_SRC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace currency {
+
+/// Machine-readable failure category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied malformed input (bad schema, parse error, ...).
+  kNotFound,          ///< Named attribute / relation / entity does not exist.
+  kFailedPrecondition,///< Operation requires state the object is not in.
+  kInconsistent,      ///< A specification admits no consistent completion.
+  kUnsupported,       ///< Feature outside the implemented fragment.
+  kResourceExhausted, ///< A solver exceeded its configured budget.
+  kInternal,          ///< Invariant violation: a bug in this library.
+};
+
+/// Returns the canonical spelling of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable (ok ? nothing : code+message) result of an operation.
+///
+/// The OK status carries no allocation.  Error statuses carry a category
+/// and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The failure category (kOk when ok()).
+  StatusCode code() const { return code_; }
+  /// The human-readable message ("" when ok()).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller.  Usage:
+///   RETURN_IF_ERROR(DoThing());
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::currency::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_COMMON_STATUS_H_

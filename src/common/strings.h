@@ -1,0 +1,30 @@
+// Small string utilities shared across the library (no dependencies).
+
+#ifndef CURRENCY_SRC_COMMON_STRINGS_H_
+#define CURRENCY_SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace currency {
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" -> {"a", "", "b"}).
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Case-sensitive identifier check: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_COMMON_STRINGS_H_

@@ -1,0 +1,113 @@
+#include "src/common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace currency {
+
+ValueKind Value::kind() const {
+  switch (repr_.index()) {
+    case 0:
+      return ValueKind::kNull;
+    case 1:
+      return ValueKind::kInt;
+    case 2:
+      return ValueKind::kDouble;
+    case 3:
+      return ValueKind::kString;
+    case 4:
+      return ValueKind::kBool;
+  }
+  return ValueKind::kNull;
+}
+
+double Value::NumericValue() const {
+  if (kind() == ValueKind::kInt) return static_cast<double>(AsInt());
+  return AsDouble();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return NumericValue() == other.NumericValue();
+  }
+  return repr_ == other.repr_;
+}
+
+int Value::KindRank() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return 1;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 2;
+    case ValueKind::kString:
+      return 3;
+  }
+  return 4;
+}
+
+bool Value::operator<(const Value& other) const {
+  int ra = KindRank();
+  int rb = other.KindRank();
+  if (ra != rb) return ra < rb;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return false;
+    case ValueKind::kBool:
+      return AsBool() < other.AsBool();
+    case ValueKind::kInt:
+    case ValueKind::kDouble: {
+      double a = NumericValue();
+      double b = other.NumericValue();
+      if (a != b) return a < b;
+      // Tie-break Int before Double so the order is strict-weak and total.
+      return kind() < other.kind();
+    }
+    case ValueKind::kString:
+      return AsString() < other.AsString();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueKind::kString:
+      return AsString();
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return std::hash<double>()(NumericValue());
+    case ValueKind::kString:
+      return std::hash<std::string>()(AsString());
+    case ValueKind::kBool:
+      return std::hash<bool>()(AsBool()) ^ 0x517cc1b727220a95ULL;
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace currency

@@ -1,0 +1,91 @@
+// Value: the dynamically typed cell value used throughout the library.
+//
+// The paper's data model is untyped first-order logic with built-in
+// predicates over particular domains (Section 2).  We support the domains
+// exercised by the paper's examples and proofs: integers, doubles, strings
+// and booleans, plus Null for absent information.
+
+#ifndef CURRENCY_SRC_COMMON_VALUE_H_
+#define CURRENCY_SRC_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace currency {
+
+/// Discriminator for the dynamic type of a Value.
+enum class ValueKind { kNull = 0, kInt, kDouble, kString, kBool };
+
+/// A dynamically typed constant: Null, Int64, Double, String or Bool.
+///
+/// Values form a total order (used for deterministic output and for map
+/// keys): Null < Bool < Int/Double (numeric, compared by value) < String.
+/// Equality between Int and Double compares numerically, so Value(2) ==
+/// Value(2.0); this matches SQL-style comparison semantics and keeps the
+/// built-in predicates of denial constraints (">", "<", ...) natural.
+class Value {
+ public:
+  /// Constructs the Null value.
+  Value() : repr_(std::monostate{}) {}
+  /// Constructs an integer value.
+  Value(int64_t v) : repr_(v) {}  // NOLINT(runtime/explicit)
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a double value.
+  Value(double v) : repr_(v) {}  // NOLINT(runtime/explicit)
+  /// Constructs a string value.
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a boolean value.  (Tagged to avoid int/bool ambiguity.)
+  static Value Bool(bool v) {
+    Value out;
+    out.repr_ = v;
+    return out;
+  }
+  /// The Null value.
+  static Value Null() { return Value(); }
+
+  ValueKind kind() const;
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_numeric() const {
+    ValueKind k = kind();
+    return k == ValueKind::kInt || k == ValueKind::kDouble;
+  }
+
+  /// Accessors; each requires the matching kind().
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  bool AsBool() const { return std::get<bool>(repr_); }
+
+  /// Numeric value as double (requires is_numeric()).
+  double NumericValue() const;
+
+  /// SQL-style equality: numerics compare by value across Int/Double;
+  /// Null equals only Null; distinct kinds otherwise compare unequal.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for containers and deterministic rendering:
+  /// Null < Bool < numeric < String, numerics interleaved by value.
+  bool operator<(const Value& other) const;
+
+  /// Renders the value for display ("null", "42", "3.5", "Smith", "true").
+  std::string ToString() const;
+
+  /// Hash consistent with operator== (numeric values hash by double).
+  size_t Hash() const;
+
+ private:
+  /// Rank used by operator< to order values of different kinds.
+  int KindRank() const;
+
+  std::variant<std::monostate, int64_t, double, std::string, bool> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_COMMON_VALUE_H_

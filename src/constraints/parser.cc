@@ -1,0 +1,169 @@
+#include "src/constraints/parser.h"
+
+#include <map>
+
+#include "src/common/lexer.h"
+
+namespace currency::constraints {
+
+namespace {
+
+class ConstraintParser {
+ public:
+  ConstraintParser(const Schema& schema, std::vector<Token> tokens)
+      : schema_(schema), tokens_(std::move(tokens)) {}
+
+  Result<DenialConstraint> Parse() {
+    if (!TokenIsKeyword(Peek(), "FORALL")) return Err("expected FORALL");
+    Next();
+    // Tuple variables.
+    while (true) {
+      if (Peek().kind != Tok::kIdent) return Err("expected tuple variable");
+      std::string name = Next().text;
+      if (vars_.count(name)) return Err("duplicate tuple variable " + name);
+      int index = static_cast<int>(vars_.size());
+      vars_[name] = index;
+      if (Peek().kind == Tok::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (!TokenIsKeyword(Peek(), "IN")) return Err("expected IN");
+    Next();
+    if (Peek().kind != Tok::kIdent) return Err("expected relation name");
+    std::string rel = Next().text;
+    if (rel != schema_.relation_name()) {
+      return Err("constraint relation '" + rel + "' does not match schema '" +
+                 schema_.relation_name() + "'");
+    }
+    RETURN_IF_ERROR(Expect(Tok::kColon, "':'"));
+
+    std::vector<ComparePredicate> compares;
+    std::vector<OrderAtom> premises;
+    if (TokenIsKeyword(Peek(), "TRUE")) {
+      Next();
+    } else if (Peek().kind == Tok::kArrow) {
+      // Empty premise list is allowed before '->'.
+    } else {
+      while (true) {
+        RETURN_IF_ERROR(ParsePredicate(&compares, &premises));
+        if (TokenIsKeyword(Peek(), "AND")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    RETURN_IF_ERROR(Expect(Tok::kArrow, "'->'"));
+    ASSIGN_OR_RETURN(OrderAtom conclusion, ParseOrderAtom());
+    if (Peek().kind != Tok::kEnd) return Err("trailing input");
+    return DenialConstraint::Make(schema_, static_cast<int>(vars_.size()),
+                                  std::move(compares), std::move(premises),
+                                  conclusion);
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Expect(Tok kind, const char* what) {
+    if (Peek().kind != kind) return Err(std::string("expected ") + what);
+    Next();
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(Peek().pos));
+  }
+
+  Result<int> LookupVar(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it == vars_.end()) {
+      return Status::InvalidArgument("unknown tuple variable '" + name + "'");
+    }
+    return it->second;
+  }
+
+  /// Parses either an order atom "s PREC[A] t" or a comparison.
+  Status ParsePredicate(std::vector<ComparePredicate>* compares,
+                        std::vector<OrderAtom>* premises) {
+    if (Peek().kind == Tok::kIdent && TokenIsKeyword(Peek(1), "PREC")) {
+      ASSIGN_OR_RETURN(OrderAtom atom, ParseOrderAtom());
+      premises->push_back(atom);
+      return Status::OK();
+    }
+    ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    if (Peek().kind != Tok::kCmp) return Err("expected comparison operator");
+    CmpOp op = Next().cmp;
+    ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    compares->push_back(ComparePredicate{op, lhs, rhs});
+    return Status::OK();
+  }
+
+  Result<OrderAtom> ParseOrderAtom() {
+    if (Peek().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected tuple variable in order atom");
+    }
+    ASSIGN_OR_RETURN(int before, LookupVar(Next().text));
+    if (!TokenIsKeyword(Peek(), "PREC")) {
+      return Status::InvalidArgument("expected PREC");
+    }
+    Next();
+    RETURN_IF_ERROR(Expect(Tok::kLBracket, "'['"));
+    if (Peek().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected attribute name");
+    }
+    ASSIGN_OR_RETURN(AttrIndex attr, schema_.IndexOf(Next().text));
+    RETURN_IF_ERROR(Expect(Tok::kRBracket, "']'"));
+    if (Peek().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected tuple variable in order atom");
+    }
+    ASSIGN_OR_RETURN(int after, LookupVar(Next().text));
+    OrderAtom atom;
+    atom.before = before;
+    atom.after = after;
+    atom.attr = attr;
+    return atom;
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& t = Peek();
+    if (t.kind == Tok::kNumber || t.kind == Tok::kString) {
+      Next();
+      return Operand::Const(t.value);
+    }
+    if (t.kind == Tok::kIdent) {
+      ASSIGN_OR_RETURN(int var, LookupVar(Next().text));
+      RETURN_IF_ERROR(Expect(Tok::kDot, "'.'"));
+      if (Peek().kind != Tok::kIdent) {
+        return Status::InvalidArgument("expected attribute name after '.'");
+      }
+      ASSIGN_OR_RETURN(AttrIndex attr, schema_.IndexOf(Next().text));
+      return Operand::Attr(var, attr);
+    }
+    return Status::InvalidArgument("expected operand at position " +
+                                   std::to_string(t.pos));
+  }
+
+  const Schema& schema_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, int> vars_;
+};
+
+}  // namespace
+
+Result<DenialConstraint> ParseConstraint(const Schema& schema,
+                                         const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, LexText(text));
+  ConstraintParser parser(schema, std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace currency::constraints

@@ -1,0 +1,37 @@
+// Text syntax for denial constraints, so the paper's ϕ1–ϕ5 read naturally:
+//
+//   ϕ1: FORALL s, t IN Emp: s.salary > t.salary -> t PREC[salary] s
+//   ϕ2: FORALL s, t IN Emp: s.status = 'married' AND t.status = 'single'
+//         -> t PREC[LN] s
+//   ϕ3: FORALL s, t IN Emp: t PREC[salary] s -> t PREC[address] s
+//
+// Grammar (keywords case-insensitive):
+//
+//   constraint := FORALL vars IN IDENT ':' premises '->' order_atom
+//   premises   := TRUE | predicate (AND predicate)*
+//   predicate  := operand cmp operand | order_atom
+//   order_atom := VAR 'PREC' '[' attr ']' VAR
+//   operand    := VAR '.' attr | NUMBER | 'string'
+//
+// The EID-equality premises of the paper's normal form are implicit:
+// constraints always range over tuples of one entity.
+
+#ifndef CURRENCY_SRC_CONSTRAINTS_PARSER_H_
+#define CURRENCY_SRC_CONSTRAINTS_PARSER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/constraints/denial_constraint.h"
+#include "src/relational/schema.h"
+
+namespace currency::constraints {
+
+/// Parses a denial constraint against `schema` (attribute names are
+/// resolved immediately; unknown names fail).
+Result<DenialConstraint> ParseConstraint(const Schema& schema,
+                                         const std::string& text);
+
+}  // namespace currency::constraints
+
+#endif  // CURRENCY_SRC_CONSTRAINTS_PARSER_H_

@@ -1,0 +1,105 @@
+#include "src/copy/copy_function.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace currency::copy {
+
+std::string CopySignature::ToString() const {
+  std::ostringstream os;
+  os << target_relation << "[" << Join(target_attrs, ", ") << "] <= "
+     << source_relation << "[" << Join(source_attrs, ", ") << "]";
+  return os.str();
+}
+
+Status CopyFunction::Map(TupleId t, TupleId s) {
+  auto [it, inserted] = mapping_.emplace(t, s);
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition(
+        "tuple " + std::to_string(t) + " is already mapped by " +
+        signature_.ToString());
+  }
+  return Status::OK();
+}
+
+TupleId CopyFunction::SourceOf(TupleId t) const {
+  auto it = mapping_.find(t);
+  return it == mapping_.end() ? -1 : it->second;
+}
+
+Result<std::vector<std::pair<AttrIndex, AttrIndex>>> CopyFunction::ResolveAttrs(
+    const Schema& target, const Schema& source) const {
+  if (signature_.target_attrs.size() != signature_.source_attrs.size()) {
+    return Status::InvalidArgument("signature attribute lists differ in size: " +
+                                   signature_.ToString());
+  }
+  std::vector<std::pair<AttrIndex, AttrIndex>> out;
+  for (size_t i = 0; i < signature_.target_attrs.size(); ++i) {
+    ASSIGN_OR_RETURN(AttrIndex a, target.IndexOf(signature_.target_attrs[i]));
+    ASSIGN_OR_RETURN(AttrIndex b, source.IndexOf(signature_.source_attrs[i]));
+    out.emplace_back(a, b);
+  }
+  return out;
+}
+
+Status CopyFunction::Validate(const Relation& target,
+                              const Relation& source) const {
+  ASSIGN_OR_RETURN(auto attrs,
+                   ResolveAttrs(target.schema(), source.schema()));
+  for (const auto& [t, s] : mapping_) {
+    if (t < 0 || t >= target.size()) {
+      return Status::InvalidArgument("mapped target tuple out of range");
+    }
+    if (s < 0 || s >= source.size()) {
+      return Status::InvalidArgument("mapped source tuple out of range");
+    }
+    for (const auto& [a, b] : attrs) {
+      if (!(target.tuple(t).at(a) == source.tuple(s).at(b))) {
+        return Status::FailedPrecondition(
+            "copying condition violated: " + signature_.ToString() +
+            " maps tuple " + target.tuple(t).ToString() + " to " +
+            source.tuple(s).ToString() + " but values differ on position " +
+            std::to_string(a));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool CopyFunction::CoversAllTargetAttributes(const Schema& target) const {
+  for (int i = 1; i < target.arity(); ++i) {
+    const std::string& name = target.attribute_name(i);
+    if (std::find(signature_.target_attrs.begin(),
+                  signature_.target_attrs.end(),
+                  name) == signature_.target_attrs.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> CopyFunction::IsOrderCompatible(
+    const Relation& target, const std::vector<PartialOrder>& target_orders,
+    const Relation& source,
+    const std::vector<PartialOrder>& source_orders) const {
+  ASSIGN_OR_RETURN(auto attrs,
+                   ResolveAttrs(target.schema(), source.schema()));
+  for (const auto& [t1, s1] : mapping_) {
+    for (const auto& [t2, s2] : mapping_) {
+      if (t1 == t2 || s1 == s2) continue;
+      if (!(target.tuple(t1).eid() == target.tuple(t2).eid())) continue;
+      if (!(source.tuple(s1).eid() == source.tuple(s2).eid())) continue;
+      for (const auto& [a, b] : attrs) {
+        if (source_orders[b].Less(s1, s2) && !target_orders[a].Less(t1, t2)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace currency::copy

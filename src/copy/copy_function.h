@@ -1,0 +1,89 @@
+// Copy functions (Section 2): a partial mapping ρ of signature
+// R1[A⃗] ⇐ R2[B⃗] from tuples of a target instance D1 to tuples of a source
+// instance D2, recording that t[A⃗] was imported from ρ(t)[B⃗].
+//
+// Two conditions attach to ρ:
+//   * the copying condition t[A_i] = ρ(t)[B_i] (checked by Validate), and
+//   * ≺-compatibility: currency orders on copied values in the source must
+//     be inherited by the target (checked against concrete orders here and
+//     enforced symbolically by core/encoder and core/chase).
+
+#ifndef CURRENCY_SRC_COPY_COPY_FUNCTION_H_
+#define CURRENCY_SRC_COPY_COPY_FUNCTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/order/partial_order.h"
+#include "src/relational/relation.h"
+
+namespace currency::copy {
+
+/// The signature R_target[A⃗] ⇐ R_source[B⃗] of a copy function:
+/// `target_attrs[i]` is copied from `source_attrs[i]`.
+struct CopySignature {
+  std::string target_relation;
+  std::vector<std::string> target_attrs;
+  std::string source_relation;
+  std::vector<std::string> source_attrs;
+
+  /// "Dept[mgrAddr] <= Emp[address]".
+  std::string ToString() const;
+};
+
+/// A copy function: a signature plus the partial mapping target tuple ->
+/// source tuple.
+class CopyFunction {
+ public:
+  CopyFunction() = default;
+  explicit CopyFunction(CopySignature signature)
+      : signature_(std::move(signature)) {}
+
+  const CopySignature& signature() const { return signature_; }
+
+  /// Maps target tuple `t` to source tuple `s`.  Remapping an already
+  /// mapped tuple fails.
+  Status Map(TupleId t, TupleId s);
+
+  /// The source tuple for `t`, or -1 when ρ(t) is undefined.
+  TupleId SourceOf(TupleId t) const;
+
+  /// Number of mapped tuples |ρ|.
+  int size() const { return static_cast<int>(mapping_.size()); }
+
+  const std::map<TupleId, TupleId>& mapping() const { return mapping_; }
+
+  /// Resolves the signature against the given schemas: returns the list of
+  /// (target_attr_index, source_attr_index) pairs, or an error if a name
+  /// is unknown or the attribute lists have different lengths.
+  Result<std::vector<std::pair<AttrIndex, AttrIndex>>> ResolveAttrs(
+      const Schema& target, const Schema& source) const;
+
+  /// Checks the copying condition: for each mapped t -> s and each
+  /// signature position i, target.tuple(t)[A_i] == source.tuple(s)[B_i].
+  Status Validate(const Relation& target, const Relation& source) const;
+
+  /// True iff the signature covers every data attribute of `target`
+  /// (required for a copy function to be extendable, Section 4).
+  bool CoversAllTargetAttributes(const Schema& target) const;
+
+  /// Checks ≺-compatibility against concrete currency orders
+  /// (`target_orders` / `source_orders` are indexed by attribute): for all
+  /// mapped t1 -> s1, t2 -> s2 with matching EIDs, s1 ≺_{B_i} s2 must imply
+  /// t1 ≺_{A_i} t2.  Used by completion validation and the brute-force
+  /// oracle.
+  Result<bool> IsOrderCompatible(
+      const Relation& target, const std::vector<PartialOrder>& target_orders,
+      const Relation& source,
+      const std::vector<PartialOrder>& source_orders) const;
+
+ private:
+  CopySignature signature_;
+  std::map<TupleId, TupleId> mapping_;
+};
+
+}  // namespace currency::copy
+
+#endif  // CURRENCY_SRC_COPY_COPY_FUNCTION_H_

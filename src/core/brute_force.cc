@@ -1,0 +1,267 @@
+#include "src/core/brute_force.h"
+
+#include <algorithm>
+
+#include "src/core/chase.h"
+#include "src/order/linear_extensions.h"
+
+namespace currency::core {
+
+namespace {
+
+/// One (instance, entity group, attribute) slot whose linear extension a
+/// completion must choose.
+struct Slot {
+  int inst;
+  AttrIndex attr;
+  std::vector<TupleId> members;
+  std::vector<std::vector<TupleId>> extensions;  // all linear extensions
+};
+
+/// Definitive-violation check on partial orders: a grounded denial
+/// constraint is hopeless once its premises are present and its conclusion
+/// is absent-forever (pure denial, or the reverse pair already holds).
+/// Sound for pruning because partial orders only grow along a branch.
+bool DefinitelyViolated(const Specification& spec, int inst,
+                        const std::vector<std::vector<PartialOrder>>& orders) {
+  const Relation& rel = spec.instance(inst).relation();
+  for (const auto& dc : spec.constraints_for(inst)) {
+    bool violated = false;
+    dc.EnumerateGroundings(rel, [&](const constraints::Grounding& g) {
+      if (violated) return;
+      for (const auto& p : g.premises) {
+        if (!orders[inst][p.attr].Less(p.before, p.after)) return;
+      }
+      if (!g.conclusion.has_value()) {
+        violated = true;
+        return;
+      }
+      if (orders[inst][g.conclusion->attr].Less(g.conclusion->after,
+                                                g.conclusion->before)) {
+        violated = true;
+      }
+    });
+    if (violated) return true;
+  }
+  // ≺-compatibility: a source pair whose target pair is reversed (or vice
+  // versa) can never be repaired.
+  for (const CopyEdge& edge : spec.copy_edges()) {
+    const Relation& target = spec.instance(edge.target_instance).relation();
+    const Relation& source = spec.instance(edge.source_instance).relation();
+    auto attrs = edge.fn.ResolveAttrs(target.schema(), source.schema());
+    if (!attrs.ok()) continue;  // validated at AddCopyFunction time
+    for (const auto& [t1, s1] : edge.fn.mapping()) {
+      for (const auto& [t2, s2] : edge.fn.mapping()) {
+        if (t1 == t2 || s1 == s2) continue;
+        if (!(target.tuple(t1).eid() == target.tuple(t2).eid())) continue;
+        if (!(source.tuple(s1).eid() == source.tuple(s2).eid())) continue;
+        for (const auto& [a, b] : *attrs) {
+          if (orders[edge.source_instance][b].Less(s1, s2) &&
+              orders[edge.target_instance][a].Less(t2, t1)) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<int64_t> EnumerateConsistentCompletions(
+    const Specification& spec,
+    const std::function<bool(const Completion&)>& visit,
+    const BruteForceOptions& options) {
+  // Seed with the certain prefix: every consistent completion contains it,
+  // so enumerating extensions of the seed loses nothing and cuts the
+  // cross product by orders of magnitude on constrained inputs.
+  ASSIGN_OR_RETURN(ChaseResult prefix, CertainOrderPrefix(spec));
+  if (!prefix.consistent) return 0;
+
+  // Collect slots and pre-enumerate their linear extensions, grouped
+  // entity-major so the pruning check fires as early as possible.
+  std::vector<Slot> slots;
+  int64_t candidate_estimate = 1;
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const TemporalInstance& inst = spec.instance(i);
+    for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+      (void)eid;
+      if (members.size() <= 1) continue;  // single linearization, no choice
+      for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+        Slot slot;
+        slot.inst = i;
+        slot.attr = a;
+        slot.members = members;
+        EnumerateLinearExtensions(prefix.certain_orders[i][a], members,
+                                  [&](const std::vector<int>& seq) {
+                                    slot.extensions.push_back(seq);
+                                    return true;
+                                  });
+        if (slot.extensions.empty()) return 0;  // seed already cyclic
+        candidate_estimate *= static_cast<int64_t>(slot.extensions.size());
+        if (candidate_estimate > options.max_candidates) {
+          return Status::ResourceExhausted(
+              "brute-force oracle would enumerate more than " +
+              std::to_string(options.max_candidates) + " candidates");
+        }
+        slots.push_back(std::move(slot));
+      }
+    }
+    candidate_estimate = std::max<int64_t>(candidate_estimate, 1);
+  }
+
+  // Base completion: the certain prefix (covers singleton groups).
+  Completion base;
+  base.orders = prefix.certain_orders;
+
+  int64_t visited = 0;
+  bool stop = false;
+  std::function<Status(size_t, Completion&)> rec =
+      [&](size_t k, Completion& partial) -> Status {
+    if (stop) return Status::OK();
+    if (k == slots.size()) {
+      ASSIGN_OR_RETURN(bool ok, IsConsistentCompletion(spec, partial));
+      if (ok) {
+        ++visited;
+        if (!visit(partial)) stop = true;
+      }
+      return Status::OK();
+    }
+    const Slot& slot = slots[k];
+    for (const auto& seq : slot.extensions) {
+      Completion next = partial;  // copy: undo-free backtracking
+      PartialOrder& po = next.orders[slot.inst][slot.attr];
+      bool feasible = true;
+      for (size_t j = 0; j + 1 < seq.size(); ++j) {
+        if (!po.TryAdd(seq[j], seq[j + 1])) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      if (DefinitelyViolated(spec, slot.inst, next.orders)) continue;
+      RETURN_IF_ERROR(rec(k + 1, next));
+      if (stop) return Status::OK();
+    }
+    return Status::OK();
+  };
+  RETURN_IF_ERROR(rec(0, base));
+  return visited;
+}
+
+Result<bool> BruteForceConsistent(const Specification& spec,
+                                  const BruteForceOptions& options) {
+  bool found = false;
+  ASSIGN_OR_RETURN(int64_t n, EnumerateConsistentCompletions(
+                                  spec,
+                                  [&](const Completion&) {
+                                    found = true;
+                                    return false;  // one witness suffices
+                                  },
+                                  options));
+  (void)n;
+  return found;
+}
+
+Result<bool> BruteForceCertainOrder(const Specification& spec,
+                                    const CurrencyOrderQuery& query,
+                                    const BruteForceOptions& options) {
+  ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(query.relation));
+  bool certain = true;
+  ASSIGN_OR_RETURN(
+      int64_t n,
+      EnumerateConsistentCompletions(
+          spec,
+          [&](const Completion& c) {
+            for (const RequiredPair& p : query.pairs) {
+              if (!c.orders[inst][p.attr].Less(p.before, p.after)) {
+                certain = false;
+                return false;
+              }
+            }
+            return true;
+          },
+          options));
+  (void)n;
+  return certain;  // vacuously true when no completions exist
+}
+
+Result<bool> BruteForceDeterministic(const Specification& spec,
+                                     const std::string& relation,
+                                     const BruteForceOptions& options) {
+  ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(relation));
+  bool first = true;
+  Relation reference;
+  bool deterministic = true;
+  Status inner = Status::OK();
+  ASSIGN_OR_RETURN(int64_t n,
+                   EnumerateConsistentCompletions(
+                       spec,
+                       [&](const Completion& c) {
+                         auto lst = CurrentInstance(spec, c, inst);
+                         if (!lst.ok()) {
+                           inner = lst.status();
+                           return false;
+                         }
+                         if (first) {
+                           reference = std::move(lst).value();
+                           first = false;
+                           return true;
+                         }
+                         if (!(lst->tuples() == reference.tuples())) {
+                           deterministic = false;
+                           return false;
+                         }
+                         return true;
+                       },
+                       options));
+  (void)n;
+  RETURN_IF_ERROR(inner);
+  return deterministic;
+}
+
+Result<std::set<Tuple>> BruteForceCertainAnswers(
+    const Specification& spec, const query::Query& q,
+    const BruteForceOptions& options) {
+  std::set<Tuple> intersection;
+  bool first = true;
+  Status inner = Status::OK();
+  ASSIGN_OR_RETURN(
+      int64_t n,
+      EnumerateConsistentCompletions(
+          spec,
+          [&](const Completion& c) {
+            std::vector<Relation> storage;
+            auto db = CurrentDatabase(spec, c, &storage);
+            if (!db.ok()) {
+              inner = db.status();
+              return false;
+            }
+            auto answers = query::EvalQuery(q, *db);
+            if (!answers.ok()) {
+              inner = answers.status();
+              return false;
+            }
+            if (first) {
+              intersection = std::move(answers).value();
+              first = false;
+            } else {
+              std::set<Tuple> merged;
+              std::set_intersection(intersection.begin(), intersection.end(),
+                                    answers->begin(), answers->end(),
+                                    std::inserter(merged, merged.begin()));
+              intersection = std::move(merged);
+            }
+            return true;
+          },
+          options));
+  RETURN_IF_ERROR(inner);
+  if (n == 0) {
+    return Status::Inconsistent(
+        "Mod(S) is empty: every tuple is vacuously a certain answer");
+  }
+  return intersection;
+}
+
+}  // namespace currency::core

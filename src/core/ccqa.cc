@@ -1,0 +1,191 @@
+#include "src/core/ccqa.h"
+
+#include <algorithm>
+
+#include "src/core/sp_ccqa.h"
+#include "src/sat/model_enumerator.h"
+
+namespace currency::core {
+
+namespace {
+
+/// Resolves the instance indices of the relations a query mentions.
+Result<std::vector<int>> QueryInstances(const Specification& spec,
+                                        const query::Query& q) {
+  std::vector<int> out;
+  for (const std::string& name : q.body->Relations()) {
+    ASSIGN_OR_RETURN(int i, spec.InstanceIndex(name));
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Builds the query-visible database view from decoded current instances.
+query::Database RestrictTo(const Specification& spec,
+                           const std::vector<int>& instances,
+                           const std::vector<Relation>& lst) {
+  query::Database db;
+  for (int i : instances) db[spec.instance(i).name()] = &lst[i];
+  return db;
+}
+
+/// Blocking clause from a witness derivation: "some cell a derivation row
+/// read takes a different current value".  Falls back to blocking the full
+/// current-value profile of the query's relations when no support is
+/// available (general FO bodies).
+Result<std::vector<sat::Lit>> BlockingClause(
+    const Encoder& encoder, const Specification& spec,
+    const std::vector<int>& instances, const std::vector<Relation>& lst,
+    const std::vector<query::SupportRow>* support) {
+  std::vector<sat::Lit> clause;
+  auto add_row = [&](int inst, const Relation& rel, int row) -> Status {
+    const Tuple& t = rel.tuple(row);
+    for (AttrIndex a = 1; a < rel.schema().arity(); ++a) {
+      ASSIGN_OR_RETURN(sat::Lit lit,
+                       encoder.CellValueLit(inst, a, t.eid(), t.at(a)));
+      clause.push_back(sat::Negate(lit));
+    }
+    return Status::OK();
+  };
+  if (support != nullptr) {
+    for (const query::SupportRow& row : *support) {
+      ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(row.relation));
+      RETURN_IF_ERROR(add_row(inst, lst[inst], row.row));
+    }
+  } else {
+    for (int inst : instances) {
+      const Relation& rel = lst[inst];
+      for (int row = 0; row < rel.size(); ++row) {
+        RETURN_IF_ERROR(add_row(inst, rel, row));
+      }
+    }
+  }
+  // Deduplicate literals (rows may overlap).
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  return clause;
+}
+
+/// Conflict-driven certain-membership check: searches for a consistent
+/// completion whose current instance does NOT answer `t`, blocking after
+/// each failed attempt only the cells the witnessed derivation read.
+/// Terminates because every iteration excludes at least the current
+/// projected model; sound and complete per the argument in eval.h.
+Result<bool> CheckCertainMember(const Specification& spec,
+                                const query::Query& q, const Tuple& t,
+                                const std::vector<int>& instances,
+                                const CcqaOptions& options) {
+  Encoder::Options enc = options.encoder;
+  enc.define_is_last = true;
+  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
+  int64_t iterations = 0;
+  while (encoder->solver().Solve() == sat::SolveResult::kSat) {
+    if (++iterations > options.max_current_instances) {
+      return Status::ResourceExhausted(
+          "certain-membership search exceeded the current-instance budget");
+    }
+    ASSIGN_OR_RETURN(std::vector<Relation> lst,
+                     encoder->DecodeCurrentInstances());
+    query::Database db = RestrictTo(spec, instances, lst);
+    auto with_support = query::EvalQueryWithSupport(q, db);
+    const std::vector<query::SupportRow>* support = nullptr;
+    if (with_support.ok()) {
+      auto it = with_support->find(t);
+      if (it == with_support->end()) return false;  // witness found
+      support = &it->second;
+    } else if (with_support.status().code() == StatusCode::kUnsupported) {
+      ASSIGN_OR_RETURN(std::set<Tuple> answers, query::EvalQuery(q, db));
+      if (!answers.count(t)) return false;  // witness found
+    } else {
+      return with_support.status();
+    }
+    ASSIGN_OR_RETURN(
+        std::vector<sat::Lit> clause,
+        BlockingClause(*encoder, spec, instances, lst, support));
+    if (!encoder->solver().AddClause(std::move(clause))) break;
+  }
+  return true;  // every completion answers t
+}
+
+}  // namespace
+
+Result<int64_t> ForEachCurrentInstance(
+    const Specification& spec, const CcqaOptions& options,
+    const std::function<bool(const query::Database&)>& visit) {
+  Encoder::Options enc = options.encoder;
+  enc.define_is_last = true;
+  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
+  std::vector<int> all;
+  for (int i = 0; i < spec.num_instances(); ++i) all.push_back(i);
+  std::vector<sat::Var> projection = encoder->CellProjection(all);
+  Status inner = Status::OK();
+  auto result = sat::EnumerateProjectedModels(
+      &encoder->solver(), projection, options.max_current_instances,
+      [&](const std::vector<bool>&) {
+        auto decoded = encoder->DecodeCurrentInstances();
+        if (!decoded.ok()) {
+          inner = decoded.status();
+          return false;
+        }
+        query::Database db;
+        for (int i = 0; i < spec.num_instances(); ++i) {
+          db[spec.instance(i).name()] = &(*decoded)[i];
+        }
+        return visit(db);
+      });
+  RETURN_IF_ERROR(inner);
+  return result;
+}
+
+Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
+                                              const query::Query& q,
+                                              const CcqaOptions& options) {
+  if (options.use_sp_fast_path && !spec.HasDenialConstraints() &&
+      query::IsSpQuery(q)) {
+    return SpCertainCurrentAnswers(spec, q);
+  }
+  ASSIGN_OR_RETURN(std::vector<int> instances, QueryInstances(spec, q));
+  Encoder::Options enc = options.encoder;
+  enc.define_is_last = true;
+  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
+  if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
+    return Status::Inconsistent(
+        "Mod(S) is empty: every tuple is vacuously a certain answer");
+  }
+  // Candidates: answers in one current instance (certain ⊆ each Q(LST)).
+  ASSIGN_OR_RETURN(std::vector<Relation> lst,
+                   encoder->DecodeCurrentInstances());
+  query::Database db = RestrictTo(spec, instances, lst);
+  ASSIGN_OR_RETURN(std::set<Tuple> candidates, query::EvalQuery(q, db));
+  std::set<Tuple> certain;
+  for (const Tuple& t : candidates) {
+    ASSIGN_OR_RETURN(bool keep,
+                     CheckCertainMember(spec, q, t, instances, options));
+    if (keep) certain.insert(t);
+  }
+  return certain;
+}
+
+Result<bool> IsCertainCurrentAnswer(const Specification& spec,
+                                    const query::Query& q, const Tuple& t,
+                                    const CcqaOptions& options) {
+  if (static_cast<size_t>(t.arity()) != q.head.size()) {
+    return Status::InvalidArgument(
+        "candidate tuple arity does not match query head");
+  }
+  if (options.use_sp_fast_path && !spec.HasDenialConstraints() &&
+      query::IsSpQuery(q)) {
+    auto answers = SpCertainCurrentAnswers(spec, q);
+    if (!answers.ok() && answers.status().code() == StatusCode::kInconsistent) {
+      return true;  // vacuous
+    }
+    RETURN_IF_ERROR(answers.status());
+    return answers->count(t) > 0;
+  }
+  ASSIGN_OR_RETURN(std::vector<int> instances, QueryInstances(spec, q));
+  // CheckCertainMember returns true on inconsistent specifications (its
+  // first Solve is UNSAT), matching the vacuous-truth convention.
+  return CheckCertainMember(spec, q, t, instances, options);
+}
+
+}  // namespace currency::core

@@ -1,0 +1,62 @@
+// CCQA — certain current query answering (Section 3): a tuple t is a
+// certain current answer to Q w.r.t. S iff t ∈ Q(LST(Dc)) for every
+// consistent completion Dc of S.
+//
+// Complexity (Theorem 3.5): coNP-complete data complexity for all of
+// CQ/UCQ/∃FO+/FO; combined complexity Πp2-complete for CQ/UCQ/∃FO+ and
+// PSPACE-complete for FO.  With SP queries and no denial constraints the
+// problem is PTIME (Proposition 6.3, see sp_ccqa.h); the general solver
+// dispatches there automatically.
+//
+// The general algorithm enumerates the *distinct current instances* of S
+// (models of the order encoding projected onto the is-last selectors) and
+// intersects Q over them, mirroring the guess-and-check upper bound.
+
+#ifndef CURRENCY_SRC_CORE_CCQA_H_
+#define CURRENCY_SRC_CORE_CCQA_H_
+
+#include <cstdint>
+#include <set>
+
+#include "src/common/result.h"
+#include "src/core/encoder.h"
+#include "src/core/specification.h"
+#include "src/query/classify.h"
+#include "src/query/eval.h"
+
+namespace currency::core {
+
+/// Options for the CCQA solvers.
+struct CcqaOptions {
+  /// Budget on distinct current instances enumerated by the general path.
+  int64_t max_current_instances = 1'000'000;
+  /// Dispatch SP queries on constraint-free specifications to the PTIME
+  /// algorithm of Proposition 6.3.
+  bool use_sp_fast_path = true;
+  Encoder::Options encoder;
+};
+
+/// Computes the full set of certain current answers ∩_Dc Q(LST(Dc)).
+/// Returns Status::Inconsistent when Mod(S) = ∅ (every tuple is then
+/// vacuously certain, so no finite answer set exists).
+Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
+                                              const query::Query& q,
+                                              const CcqaOptions& options = {});
+
+/// Decides whether `t` is a certain current answer (vacuously true when
+/// Mod(S) = ∅, matching the paper's convention).
+Result<bool> IsCertainCurrentAnswer(const Specification& spec,
+                                    const query::Query& q, const Tuple& t,
+                                    const CcqaOptions& options = {});
+
+/// Enumerates the distinct current instances of S (at most `options.
+/// max_current_instances`), invoking `visit` with a database of current
+/// relations; stops early when `visit` returns false.  Returns the number
+/// visited.  Exposed for DCIP-style analyses and the benchmarks.
+Result<int64_t> ForEachCurrentInstance(
+    const Specification& spec, const CcqaOptions& options,
+    const std::function<bool(const query::Database&)>& visit);
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_CCQA_H_

@@ -1,0 +1,59 @@
+#include "src/core/certain_order.h"
+
+#include "src/core/chase.h"
+#include "src/core/consistency.h"
+
+namespace currency::core {
+
+Result<bool> IsCertainOrder(const Specification& spec,
+                            const CurrencyOrderQuery& query,
+                            const CopOptions& options) {
+  ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(query.relation));
+  const TemporalInstance& instance = spec.instance(inst);
+  const Relation& rel = instance.relation();
+  for (const RequiredPair& p : query.pairs) {
+    if (p.attr < 1 || p.attr >= instance.schema().arity()) {
+      return Status::InvalidArgument("required pair attribute out of range");
+    }
+    if (p.before < 0 || p.before >= rel.size() || p.after < 0 ||
+        p.after >= rel.size()) {
+      return Status::InvalidArgument("required pair tuple out of range");
+    }
+  }
+
+  // PTIME path (Theorem 6.1(2) / Lemma 6.2): Ot is certain iff it is
+  // contained in PO∞.
+  if (options.use_ptime_path_without_constraints &&
+      !spec.HasDenialConstraints()) {
+    ASSIGN_OR_RETURN(ChaseResult chase, ChaseCopyOrders(spec));
+    if (!chase.consistent) return true;  // vacuous
+    for (const RequiredPair& p : query.pairs) {
+      if (!chase.certain_orders[inst][p.attr].Less(p.before, p.after)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // General path: Ot pair (u, v) is certain iff the encoding plus the
+  // assumption "v ≺ u or incomparable" is unsatisfiable; with totality
+  // baked in, that assumption is just ¬ord(u, v).
+  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, options.encoder));
+  if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
+    return true;  // Mod(S) = ∅: vacuously certain
+  }
+  for (const RequiredPair& p : query.pairs) {
+    if (p.before == p.after) return false;  // irreflexivity
+    if (!encoder->HasPairVar(inst, p.before, p.after)) {
+      return false;  // cross-entity pairs are never comparable
+    }
+    sat::Lit lit = encoder->OrdLit(inst, p.attr, p.before, p.after);
+    if (encoder->solver().SolveWithAssumptions({sat::Negate(lit)}) ==
+        sat::SolveResult::kSat) {
+      return false;  // a completion orders them the other way
+    }
+  }
+  return true;
+}
+
+}  // namespace currency::core

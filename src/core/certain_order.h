@@ -1,0 +1,51 @@
+// COP — the certain ordering problem (Section 3): given S, a relation R
+// in S, and a currency order Ot for R's temporal instance, does Ot hold
+// in every consistent completion of S?
+//
+// Complexity (Theorem 3.4): coNP-complete (data), Πp2-complete (combined);
+// PTIME without denial constraints via PO∞ (Theorem 6.1, Lemma 6.2).
+// Vacuously true when Mod(S) = ∅.
+
+#ifndef CURRENCY_SRC_CORE_CERTAIN_ORDER_H_
+#define CURRENCY_SRC_CORE_CERTAIN_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/encoder.h"
+#include "src/core/specification.h"
+
+namespace currency::core {
+
+/// One required pair of a currency order Ot: before ≺_attr after.
+struct RequiredPair {
+  AttrIndex attr = -1;
+  TupleId before = -1;
+  TupleId after = -1;
+};
+
+/// A currency order Ot for one relation of the specification.
+struct CurrencyOrderQuery {
+  std::string relation;
+  std::vector<RequiredPair> pairs;
+};
+
+/// Options for IsCertainOrder.
+struct CopOptions {
+  /// Use the PTIME PO∞ check when no denial constraints are present.
+  bool use_ptime_path_without_constraints = true;
+  Encoder::Options encoder;
+};
+
+/// Decides whether every pair of `query` holds in every consistent
+/// completion of `spec`.  Pairs relating distinct entities or a tuple to
+/// itself can hold in no completion (so the answer is false unless
+/// Mod(S) = ∅, which makes COP vacuously true).
+Result<bool> IsCertainOrder(const Specification& spec,
+                            const CurrencyOrderQuery& query,
+                            const CopOptions& options = {});
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_CERTAIN_ORDER_H_

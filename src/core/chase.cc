@@ -1,0 +1,154 @@
+#include "src/core/chase.h"
+
+namespace currency::core {
+
+namespace {
+
+/// A mapped pair of target tuples with matching entity ids on both sides:
+/// the unit of ≺-compatibility propagation.
+struct MappedPair {
+  TupleId t1, t2;  // target tuples (distinct, same EID)
+  TupleId s1, s2;  // their sources (distinct, same EID)
+};
+
+/// One pass of denial-constraint Horn closure over `orders`.  Returns
+/// whether anything changed; sets *inconsistent when a pure denial fires
+/// or a conclusion contradicts a certain pair.
+Result<bool> DenialClosurePass(const Specification& spec,
+                               std::vector<std::vector<PartialOrder>>* orders,
+                               bool* inconsistent) {
+  bool changed = false;
+  for (int i = 0; i < spec.num_instances() && !*inconsistent; ++i) {
+    const Relation& rel = spec.instance(i).relation();
+    for (const auto& dc : spec.constraints_for(i)) {
+      if (*inconsistent) break;
+      dc.EnumerateGroundings(rel, [&](const constraints::Grounding& g) {
+        if (*inconsistent) return;
+        for (const auto& p : g.premises) {
+          if (!(*orders)[i][p.attr].Less(p.before, p.after)) return;
+        }
+        if (!g.conclusion.has_value()) {
+          *inconsistent = true;  // certain premises of a pure denial
+          return;
+        }
+        const auto& c = *g.conclusion;
+        if ((*orders)[i][c.attr].Less(c.before, c.after)) return;
+        if ((*orders)[i][c.attr].Less(c.after, c.before)) {
+          *inconsistent = true;  // conclusion contradicts a certain pair
+          return;
+        }
+        if (!(*orders)[i][c.attr].TryAdd(c.before, c.after)) {
+          *inconsistent = true;
+          return;
+        }
+        changed = true;
+      });
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+namespace {
+
+/// Pre-resolved copy edge: signature attribute pairs + mapped pairs.
+struct EdgePlan {
+  int source, target;
+  std::vector<std::pair<AttrIndex, AttrIndex>> attrs;  // (target, source)
+  std::vector<MappedPair> pairs;
+};
+
+Result<std::vector<EdgePlan>> BuildEdgePlans(const Specification& spec) {
+  std::vector<EdgePlan> plans;
+  for (const CopyEdge& edge : spec.copy_edges()) {
+    EdgePlan plan;
+    plan.source = edge.source_instance;
+    plan.target = edge.target_instance;
+    const Relation& target = spec.instance(edge.target_instance).relation();
+    const Relation& source = spec.instance(edge.source_instance).relation();
+    ASSIGN_OR_RETURN(plan.attrs,
+                     edge.fn.ResolveAttrs(target.schema(), source.schema()));
+    for (const auto& [t1, s1] : edge.fn.mapping()) {
+      for (const auto& [t2, s2] : edge.fn.mapping()) {
+        if (t1 == t2 || s1 == s2) continue;
+        if (!(target.tuple(t1).eid() == target.tuple(t2).eid())) continue;
+        if (!(source.tuple(s1).eid() == source.tuple(s2).eid())) continue;
+        plan.pairs.push_back(MappedPair{t1, t2, s1, s2});
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+/// One pass of copy-order propagation.  Returns whether anything changed;
+/// sets *inconsistent on a derived cycle.
+bool CopyPropagationPass(const std::vector<EdgePlan>& plans,
+                         std::vector<std::vector<PartialOrder>>* orders,
+                         bool* inconsistent) {
+  bool changed = false;
+  for (const EdgePlan& plan : plans) {
+    for (const auto& [a, b] : plan.attrs) {
+      PartialOrder& tgt = (*orders)[plan.target][a];
+      PartialOrder& src = (*orders)[plan.source][b];
+      for (const MappedPair& p : plan.pairs) {
+        // Source order is inherited by the target (≺-compatibility).
+        if (src.Less(p.s1, p.s2) && !tgt.Less(p.t1, p.t2)) {
+          if (!tgt.TryAdd(p.t1, p.t2)) {
+            *inconsistent = true;
+            return changed;
+          }
+          changed = true;
+        }
+        // Contrapositive under totality: a certain target order forces
+        // the corresponding source order (Theorem 6.1, step 3(a)ii).
+        if (tgt.Less(p.t1, p.t2) && !src.Less(p.s1, p.s2)) {
+          if (!src.TryAdd(p.s1, p.s2)) {
+            *inconsistent = true;
+            return changed;
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+Result<ChaseResult> RunChase(const Specification& spec, bool with_denials) {
+  ChaseResult result;
+  result.certain_orders.reserve(spec.num_instances());
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    result.certain_orders.push_back(spec.instance(i).orders());
+  }
+  ASSIGN_OR_RETURN(std::vector<EdgePlan> plans, BuildEdgePlans(spec));
+  bool inconsistent = false;
+  bool changed = true;
+  while (changed && !inconsistent) {
+    changed = false;
+    ++result.passes;
+    changed |= CopyPropagationPass(plans, &result.certain_orders,
+                                   &inconsistent);
+    if (with_denials && !inconsistent) {
+      ASSIGN_OR_RETURN(bool dc_changed,
+                       DenialClosurePass(spec, &result.certain_orders,
+                                         &inconsistent));
+      changed |= dc_changed;
+    }
+  }
+  result.consistent = !inconsistent;
+  return result;
+}
+
+}  // namespace
+
+Result<ChaseResult> ChaseCopyOrders(const Specification& spec) {
+  return RunChase(spec, /*with_denials=*/false);
+}
+
+Result<ChaseResult> CertainOrderPrefix(const Specification& spec) {
+  return RunChase(spec, /*with_denials=*/true);
+}
+
+}  // namespace currency::core

@@ -1,0 +1,53 @@
+// The copy-order chase: the PTIME fixpoint algorithm of Theorem 6.1.
+//
+// Starting from the initial partial currency orders, order information is
+// propagated along copy functions in both directions (source → target by
+// ≺-compatibility; target → source by its contrapositive under totality)
+// until fixpoint.  A derived cycle proves inconsistency.  In the absence
+// of denial constraints the result PO∞ equals the intersection of the
+// completed orders over all consistent completions (Lemma 6.2), which
+// makes CPS, COP and DCIP PTIME-decidable (Theorem 6.1); with denial
+// constraints it is still a sound pre-propagation (every derived pair is
+// certain), used to seed the SAT encoder (ablation option).
+
+#ifndef CURRENCY_SRC_CORE_CHASE_H_
+#define CURRENCY_SRC_CORE_CHASE_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/specification.h"
+
+namespace currency::core {
+
+/// Result of the copy-order chase.
+struct ChaseResult {
+  /// False iff a cyclic order requirement was derived (Mod(S) = ∅
+  /// regardless of denial constraints).
+  bool consistent = true;
+  /// certain_orders[i][a]: PO∞ for instance i, attribute a.  Meaningful
+  /// only when `consistent`; equals ∩_{Dc ∈ Mod(S)} ≺c when S has no
+  /// denial constraints (Lemma 6.2).
+  std::vector<std::vector<PartialOrder>> certain_orders;
+  /// Number of propagation passes until fixpoint (for the benchmarks).
+  int passes = 0;
+};
+
+/// Runs the chase.  Fails (error Status) only on malformed specifications
+/// (unresolvable copy signatures); an inconsistent-but-well-formed
+/// specification yields consistent == false.
+Result<ChaseResult> ChaseCopyOrders(const Specification& spec);
+
+/// Chase + denial-constraint Horn closure: additionally fires every
+/// grounded denial constraint whose order premises are already certain,
+/// adding its conclusion (or detecting inconsistency for pure denials).
+/// Every derived pair holds in EVERY consistent completion (sound); the
+/// closure is not complete in general — with denial constraints, deciding
+/// certainty is coNP-hard (Theorem 3.4) — but it shrinks search spaces
+/// dramatically (used to seed the SAT encoder and the brute-force oracle).
+/// Without denial constraints it coincides with ChaseCopyOrders.
+Result<ChaseResult> CertainOrderPrefix(const Specification& spec);
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_CHASE_H_

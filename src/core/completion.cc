@@ -1,0 +1,98 @@
+#include "src/core/completion.h"
+
+namespace currency::core {
+
+Result<bool> IsConsistentCompletion(const Specification& spec,
+                                    const Completion& completion) {
+  if (static_cast<int>(completion.orders.size()) != spec.num_instances()) {
+    return Status::InvalidArgument("completion has wrong instance count");
+  }
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const TemporalInstance& inst = spec.instance(i);
+    const Relation& rel = inst.relation();
+    const auto& orders = completion.orders[i];
+    if (static_cast<int>(orders.size()) != inst.schema().arity()) {
+      return Status::InvalidArgument("completion has wrong attribute count");
+    }
+    auto groups = rel.EntityGroups();
+    for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+      if (orders[a].size() != rel.size()) {
+        return Status::InvalidArgument("completion order has wrong carrier");
+      }
+      // (1) extends the initial order.
+      if (!inst.order(a).ContainedIn(orders[a])) return false;
+      // (2) total exactly on entity groups.
+      for (const auto& [eid, members] : groups) {
+        (void)eid;
+        if (!orders[a].TotalOn(members)) return false;
+      }
+      for (TupleId u = 0; u < rel.size(); ++u) {
+        for (TupleId v = 0; v < rel.size(); ++v) {
+          if (orders[a].Less(u, v) &&
+              !(rel.tuple(u).eid() == rel.tuple(v).eid())) {
+            return false;  // comparable across entities
+          }
+        }
+      }
+    }
+    // (2') satisfies the denial constraints.
+    for (const auto& dc : spec.constraints_for(i)) {
+      if (!dc.SatisfiedBy(rel, orders)) return false;
+    }
+  }
+  // (3) copy functions are ≺-compatible.
+  for (const CopyEdge& edge : spec.copy_edges()) {
+    ASSIGN_OR_RETURN(
+        bool compatible,
+        edge.fn.IsOrderCompatible(
+            spec.instance(edge.target_instance).relation(),
+            completion.orders[edge.target_instance],
+            spec.instance(edge.source_instance).relation(),
+            completion.orders[edge.source_instance]));
+    if (!compatible) return false;
+  }
+  return true;
+}
+
+Result<Relation> CurrentInstance(const Specification& spec,
+                                 const Completion& completion, int i) {
+  if (i < 0 || i >= spec.num_instances()) {
+    return Status::InvalidArgument("instance index out of range");
+  }
+  const TemporalInstance& inst = spec.instance(i);
+  const Relation& rel = inst.relation();
+  Relation out(inst.schema());
+  for (const auto& [eid, members] : rel.EntityGroups()) {
+    std::vector<Value> values(inst.schema().arity());
+    values[0] = eid;
+    for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+      int last = completion.orders[i][a].MaxOf(members);
+      if (last < 0) {
+        return Status::FailedPrecondition(
+            "completion is not total on entity " + eid.ToString() +
+            " for attribute " + inst.schema().attribute_name(a));
+      }
+      values[a] = rel.tuple(last).at(a);
+    }
+    RETURN_IF_ERROR(out.Append(Tuple(std::move(values))).status());
+  }
+  return out;
+}
+
+Result<query::Database> CurrentDatabase(const Specification& spec,
+                                        const Completion& completion,
+                                        std::vector<Relation>* storage) {
+  storage->clear();
+  storage->reserve(spec.num_instances());
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    ASSIGN_OR_RETURN(Relation lst, CurrentInstance(spec, completion, i));
+    storage->push_back(std::move(lst));
+  }
+  query::Database db;
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    db[spec.instance(i).name()] = &(*storage)[i];
+  }
+  return db;
+}
+
+}  // namespace currency::core

@@ -1,0 +1,49 @@
+// Completions of a specification and current-instance (LST) extraction
+// (Section 2).
+//
+// A completion assigns, per instance and data attribute, a currency order
+// that is total on every entity group and contains the instance's initial
+// partial order.  A *consistent* completion additionally satisfies the
+// denial constraints and the ≺-compatibility of all copy functions.
+// The current instance LST(D_t^c) collects, per entity, the tuple of most
+// current attribute values.
+
+#ifndef CURRENCY_SRC_CORE_COMPLETION_H_
+#define CURRENCY_SRC_CORE_COMPLETION_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/specification.h"
+
+namespace currency::core {
+
+/// A (candidate) completion: orders[i][a] is the completed currency order
+/// of instance i, attribute a (index 0 unused).
+struct Completion {
+  std::vector<std::vector<PartialOrder>> orders;
+};
+
+/// Checks conditions (1)-(3) of "consistent completion" (Section 2):
+/// each orders[i][a] extends the initial order, is total exactly on entity
+/// groups, satisfies Σ_i, and every copy function is ≺-compatible.
+/// Returns true/false for well-formed candidates, error Status for shape
+/// mismatches (wrong sizes).
+Result<bool> IsConsistentCompletion(const Specification& spec,
+                                    const Completion& completion);
+
+/// Extracts LST for instance `i`: one tuple per entity, taking for each
+/// attribute the value of the greatest tuple in the completed order.
+/// Requires the completion to be total on entity groups.
+Result<Relation> CurrentInstance(const Specification& spec,
+                                 const Completion& completion, int i);
+
+/// All current instances as a query database.  The returned relations are
+/// materialized into `storage` (one per instance, borrowed by the map).
+Result<query::Database> CurrentDatabase(const Specification& spec,
+                                        const Completion& completion,
+                                        std::vector<Relation>* storage);
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_COMPLETION_H_

@@ -1,0 +1,27 @@
+#include "src/core/consistency.h"
+
+#include "src/core/chase.h"
+
+namespace currency::core {
+
+Result<CpsOutcome> DecideConsistency(const Specification& spec,
+                                     const CpsOptions& options) {
+  CpsOutcome outcome;
+  if (options.use_ptime_path_without_constraints &&
+      !spec.HasDenialConstraints() && !options.want_witness) {
+    // Theorem 6.1: without denial constraints the chase is sound and
+    // complete for CPS.
+    ASSIGN_OR_RETURN(ChaseResult chase, ChaseCopyOrders(spec));
+    outcome.consistent = chase.consistent;
+    outcome.used_ptime_path = true;
+    return outcome;
+  }
+  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, options.encoder));
+  outcome.consistent = encoder->solver().Solve() == sat::SolveResult::kSat;
+  if (outcome.consistent && options.want_witness) {
+    outcome.witness = encoder->ExtractCompletion();
+  }
+  return outcome;
+}
+
+}  // namespace currency::core

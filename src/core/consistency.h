@@ -1,0 +1,47 @@
+// CPS — the consistency problem for specifications (Section 3):
+// given S, is Mod(S) non-empty?
+//
+// Complexity (Theorem 3.1): NP-complete in data complexity, Σp2-complete
+// in combined complexity; PTIME without denial constraints (Theorem 6.1).
+// The solver realizes the upper bound with CDCL search over the order
+// encoding, and dispatches to the chase on denial-constraint-free inputs.
+
+#ifndef CURRENCY_SRC_CORE_CONSISTENCY_H_
+#define CURRENCY_SRC_CORE_CONSISTENCY_H_
+
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/core/completion.h"
+#include "src/core/encoder.h"
+#include "src/core/specification.h"
+
+namespace currency::core {
+
+/// Options for DecideConsistency.
+struct CpsOptions {
+  /// Use the PTIME chase when the specification has no denial constraints
+  /// (Theorem 6.1).  Disable to force the SAT path (ablation).
+  bool use_ptime_path_without_constraints = true;
+  /// Always construct a witness completion (forces the SAT path even when
+  /// the chase decides consistency).
+  bool want_witness = false;
+  Encoder::Options encoder;
+};
+
+/// Outcome of CPS.
+struct CpsOutcome {
+  bool consistent = false;
+  /// A consistent completion, when `consistent` and the SAT path ran.
+  std::optional<Completion> witness;
+  /// True iff the PTIME chase decided the instance.
+  bool used_ptime_path = false;
+};
+
+/// Decides whether Mod(S) is non-empty.
+Result<CpsOutcome> DecideConsistency(const Specification& spec,
+                                     const CpsOptions& options = {});
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_CONSISTENCY_H_

@@ -1,0 +1,103 @@
+#include "src/core/deterministic.h"
+
+#include "src/core/chase.h"
+
+namespace currency::core {
+
+namespace {
+
+/// Shared implementation deciding determinism for one instance index given
+/// an already-built encoder whose formula is satisfiable.
+Result<bool> DeterministicViaSat(const Specification& spec, Encoder* encoder,
+                                 int inst) {
+  const TemporalInstance& instance = spec.instance(inst);
+  const Relation& rel = instance.relation();
+  // Baseline: the current values in one model.
+  auto groups = rel.EntityGroups();
+  for (AttrIndex a = 1; a < instance.schema().arity(); ++a) {
+    for (const auto& [eid, members] : groups) {
+      (void)eid;
+      if (members.size() <= 1) continue;
+      // Baseline value: from the most recent model, the selected tuple.
+      TupleId baseline = -1;
+      for (TupleId u : members) {
+        if (encoder->solver().ModelValue(encoder->IsLastVar(inst, a, u))) {
+          baseline = u;
+          break;
+        }
+      }
+      if (baseline < 0) {
+        return Status::Internal("model selects no current tuple");
+      }
+      const Value& base_value = rel.tuple(baseline).at(a);
+      // Any candidate with a DIFFERENT value that can be most current
+      // witnesses non-determinism.  (Candidates with equal value cannot
+      // change the current instance.)
+      for (TupleId u : members) {
+        if (u == baseline || rel.tuple(u).at(a) == base_value) continue;
+        sat::Lit assume = sat::MakeLit(encoder->IsLastVar(inst, a, u));
+        if (encoder->solver().SolveWithAssumptions({assume}) ==
+            sat::SolveResult::kSat) {
+          return false;
+        }
+      }
+      // Note: failed assumption solves leave the last satisfying model in
+      // place, so subsequent groups can keep reading baselines from it.
+    }
+  }
+  return true;
+}
+
+/// PTIME path (Theorem 6.1(3)): deterministic iff for each entity and
+/// attribute, all sinks of PO∞ agree on the attribute value.
+Result<bool> DeterministicViaChase(const Specification& spec,
+                                   const ChaseResult& chase, int inst) {
+  const TemporalInstance& instance = spec.instance(inst);
+  const Relation& rel = instance.relation();
+  for (AttrIndex a = 1; a < instance.schema().arity(); ++a) {
+    const PartialOrder& po = chase.certain_orders[inst][a];
+    for (const auto& [eid, members] : rel.EntityGroups()) {
+      (void)eid;
+      std::vector<int> sinks = po.SinksWithin(members);
+      for (size_t k = 1; k < sinks.size(); ++k) {
+        if (!(rel.tuple(sinks[k]).at(a) == rel.tuple(sinks[0]).at(a))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> IsDeterministicForRelation(const Specification& spec,
+                                        const std::string& relation,
+                                        const DcipOptions& options) {
+  ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(relation));
+  if (options.use_ptime_path_without_constraints &&
+      !spec.HasDenialConstraints()) {
+    ASSIGN_OR_RETURN(ChaseResult chase, ChaseCopyOrders(spec));
+    if (!chase.consistent) return true;  // vacuous
+    return DeterministicViaChase(spec, chase, inst);
+  }
+  Encoder::Options enc = options.encoder;
+  enc.define_is_last = true;
+  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
+  if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
+    return true;  // vacuous
+  }
+  return DeterministicViaSat(spec, encoder.get(), inst);
+}
+
+Result<bool> IsDeterministic(const Specification& spec,
+                             const DcipOptions& options) {
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    ASSIGN_OR_RETURN(bool det, IsDeterministicForRelation(
+                                   spec, spec.instance(i).name(), options));
+    if (!det) return false;
+  }
+  return true;
+}
+
+}  // namespace currency::core

@@ -1,0 +1,38 @@
+// DCIP — the deterministic current instance problem (Section 3): given S
+// and a relation R in S, is the current instance of R the same in every
+// consistent completion?
+//
+// Complexity (Theorem 3.4): coNP-complete (data), Πp2-complete (combined);
+// PTIME without denial constraints via sink-agreement on PO∞
+// (Theorem 6.1).  Vacuously true when Mod(S) = ∅.
+
+#ifndef CURRENCY_SRC_CORE_DETERMINISTIC_H_
+#define CURRENCY_SRC_CORE_DETERMINISTIC_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/core/encoder.h"
+#include "src/core/specification.h"
+
+namespace currency::core {
+
+/// Options for the DCIP solvers.
+struct DcipOptions {
+  /// Use the PTIME sink-agreement check when no denial constraints exist.
+  bool use_ptime_path_without_constraints = true;
+  Encoder::Options encoder;
+};
+
+/// Decides whether S is deterministic for current `relation` instances.
+Result<bool> IsDeterministicForRelation(const Specification& spec,
+                                        const std::string& relation,
+                                        const DcipOptions& options = {});
+
+/// Decides whether S is deterministic for all its current instances.
+Result<bool> IsDeterministic(const Specification& spec,
+                             const DcipOptions& options = {});
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_DETERMINISTIC_H_

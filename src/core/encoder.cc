@@ -1,0 +1,316 @@
+#include "src/core/encoder.h"
+
+#include "src/core/chase.h"
+
+namespace currency::core {
+
+namespace {
+
+std::pair<TupleId, TupleId> Canonical(TupleId u, TupleId v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Encoder>> Encoder::Build(const Specification& spec,
+                                                const Options& options) {
+  std::unique_ptr<Encoder> encoder(new Encoder());
+  RETURN_IF_ERROR(encoder->BuildImpl(spec, options));
+  return encoder;
+}
+
+Result<std::unique_ptr<Encoder>> Encoder::Build(const Specification& spec) {
+  return Build(spec, Options());
+}
+
+bool Encoder::HasPairVar(int inst, TupleId u, TupleId v) const {
+  if (u == v) return false;
+  return pair_base_[inst].count(Canonical(u, v)) > 0;
+}
+
+sat::Lit Encoder::OrdLit(int inst, AttrIndex attr, TupleId u, TupleId v) const {
+  auto key = Canonical(u, v);
+  int base = pair_base_[inst].at(key);
+  sat::Var var = base + (attr - 1);
+  // Variable true ⇔ key.first ≺ key.second; flip when asking (v, u).
+  return sat::MakeLit(var, /*negated=*/u != key.first);
+}
+
+sat::Var Encoder::IsLastVar(int inst, AttrIndex attr, TupleId u) const {
+  return is_last_var_[inst][attr][u];
+}
+
+Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
+  spec_ = &spec;
+  solver_ = std::make_unique<sat::Solver>();
+  sat::Solver& s = *solver_;
+  pair_base_.resize(spec.num_instances());
+
+  // 1. Order variables: one per (same-entity pair, data attribute).
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const TemporalInstance& inst = spec.instance(i);
+    int data_attrs = inst.schema().num_data_attributes();
+    for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+      (void)eid;
+      for (size_t x = 0; x < members.size(); ++x) {
+        for (size_t y = x + 1; y < members.size(); ++y) {
+          auto key = Canonical(members[x], members[y]);
+          int base = s.NumVars();
+          for (int a = 0; a < data_attrs; ++a) s.NewVar();
+          pair_base_[i][key] = base;
+          num_order_vars_ += data_attrs;
+        }
+      }
+    }
+  }
+
+  // 2. Transitivity: ord(u,v) ∧ ord(v,w) → ord(u,w) for ordered triples.
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const TemporalInstance& inst = spec.instance(i);
+    for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+      (void)eid;
+      if (members.size() < 3) continue;
+      for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+        for (TupleId u : members) {
+          for (TupleId v : members) {
+            if (v == u) continue;
+            for (TupleId w : members) {
+              if (w == u || w == v) continue;
+              s.AddClause({sat::Negate(OrdLit(i, a, u, v)),
+                           sat::Negate(OrdLit(i, a, v, w)),
+                           OrdLit(i, a, u, w)});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // 3. Initial partial orders (or the chase's strengthening of them).
+  std::vector<std::vector<PartialOrder>> initial;
+  if (options.seed_with_chase) {
+    // The full certain prefix (chase + denial Horn closure): every derived
+    // pair holds in all consistent completions, so adding them as units is
+    // sound and strengthens propagation.
+    ASSIGN_OR_RETURN(ChaseResult chase, CertainOrderPrefix(spec));
+    if (!chase.consistent) {
+      // Encode inconsistency directly: empty clause.
+      s.AddClause({});
+      initial.clear();
+    } else {
+      initial = std::move(chase.certain_orders);
+    }
+  }
+  if (initial.empty()) {
+    for (int i = 0; i < spec.num_instances(); ++i) {
+      initial.push_back(spec.instance(i).orders());
+    }
+  }
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const TemporalInstance& inst = spec.instance(i);
+    for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+      for (auto [u, v] : initial[i][a].Pairs()) {
+        if (!HasPairVar(i, u, v)) {
+          return Status::Internal(
+              "initial order relates tuples of different entities");
+        }
+        s.AddClause({OrdLit(i, a, u, v)});
+      }
+    }
+  }
+
+  // 4. Copy ≺-compatibility: ord_src(s1,s2) → ord_tgt(t1,t2).
+  for (const CopyEdge& edge : spec.copy_edges()) {
+    const Relation& target = spec.instance(edge.target_instance).relation();
+    const Relation& source = spec.instance(edge.source_instance).relation();
+    ASSIGN_OR_RETURN(auto attrs,
+                     edge.fn.ResolveAttrs(target.schema(), source.schema()));
+    for (const auto& [t1, s1] : edge.fn.mapping()) {
+      for (const auto& [t2, s2] : edge.fn.mapping()) {
+        if (t1 == t2 || s1 == s2) continue;
+        if (!(target.tuple(t1).eid() == target.tuple(t2).eid())) continue;
+        if (!(source.tuple(s1).eid() == source.tuple(s2).eid())) continue;
+        for (const auto& [a, b] : attrs) {
+          s.AddClause(
+              {sat::Negate(OrdLit(edge.source_instance, b, s1, s2)),
+               OrdLit(edge.target_instance, a, t1, t2)});
+        }
+      }
+    }
+  }
+
+  // 5. Grounded denial constraints.
+  if (options.ground_denial_constraints) {
+    for (int i = 0; i < spec.num_instances(); ++i) {
+      for (const auto& dc : spec.constraints_for(i)) {
+        dc.EnumerateGroundings(
+            spec.instance(i).relation(),
+            [&](const constraints::Grounding& g) {
+              std::vector<sat::Lit> clause;
+              clause.reserve(g.premises.size() + 1);
+              for (const auto& p : g.premises) {
+                clause.push_back(
+                    sat::Negate(OrdLit(i, p.attr, p.before, p.after)));
+              }
+              if (g.conclusion.has_value()) {
+                clause.push_back(OrdLit(i, g.conclusion->attr,
+                                        g.conclusion->before,
+                                        g.conclusion->after));
+              }
+              s.AddClause(std::move(clause));
+            });
+      }
+    }
+  }
+
+  // 6. is-last selectors L(u) ⇔ ⋀_{v ≠ u, same entity} ord(v, u), plus
+  //    per-cell value selectors val(cell, k) ⇔ ⋁ {L(u) | u carries value k}.
+  if (options.define_is_last) {
+    is_last_var_.resize(spec.num_instances());
+    cell_index_.resize(spec.num_instances());
+    for (int i = 0; i < spec.num_instances(); ++i) {
+      const TemporalInstance& inst = spec.instance(i);
+      is_last_var_[i].assign(
+          inst.schema().arity(),
+          std::vector<sat::Var>(inst.relation().size(), -1));
+      for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+        for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+          for (TupleId u : members) {
+            sat::Var lv = s.NewVar();
+            is_last_var_[i][a][u] = lv;
+            std::vector<sat::Lit> back{sat::MakeLit(lv)};
+            for (TupleId v : members) {
+              if (v == u) continue;
+              // L(u) → ord(v, u)
+              s.AddClause({sat::MakeLit(lv, true), OrdLit(i, a, v, u)});
+              back.push_back(sat::Negate(OrdLit(i, a, v, u)));
+            }
+            // (⋀ ord(v,u)) → L(u)
+            s.AddClause(std::move(back));
+          }
+          // Cell: distinct values of this (attr, entity) with their vars.
+          Cell cell;
+          cell.inst = i;
+          cell.attr = a;
+          cell.eid = eid;
+          std::map<Value, std::vector<TupleId>> by_value;
+          for (TupleId u : members) {
+            by_value[inst.relation().tuple(u).at(a)].push_back(u);
+          }
+          for (const auto& [v, carriers] : by_value) {
+            sat::Var vv = s.NewVar();
+            cell.values.push_back(v);
+            cell.value_vars.push_back(vv);
+            // val ⇔ ⋁ L(u).
+            std::vector<sat::Lit> def{sat::MakeLit(vv, true)};
+            for (TupleId u : carriers) {
+              def.push_back(sat::MakeLit(is_last_var_[i][a][u]));
+              s.AddClause({sat::MakeLit(is_last_var_[i][a][u], true),
+                           sat::MakeLit(vv)});
+            }
+            s.AddClause(std::move(def));
+          }
+          cell_index_[i][{a, eid}] = static_cast<int>(cells_.size());
+          cells_.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<sat::Var> Encoder::CellProjection(
+    const std::vector<int>& instances) const {
+  std::vector<sat::Var> out;
+  for (const Cell& cell : cells_) {
+    for (int i : instances) {
+      if (cell.inst == i) {
+        out.insert(out.end(), cell.value_vars.begin(), cell.value_vars.end());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<sat::Lit> Encoder::CellValueLit(int inst, AttrIndex attr,
+                                       const Value& eid,
+                                       const Value& v) const {
+  if (inst < 0 || inst >= static_cast<int>(cell_index_.size())) {
+    return Status::InvalidArgument("instance index out of range");
+  }
+  auto it = cell_index_[inst].find({attr, eid});
+  if (it == cell_index_[inst].end()) {
+    return Status::NotFound("no cell for entity " + eid.ToString());
+  }
+  const Cell& cell = cells_[it->second];
+  for (size_t k = 0; k < cell.values.size(); ++k) {
+    if (cell.values[k] == v) return sat::MakeLit(cell.value_vars[k]);
+  }
+  return Status::NotFound("value " + v.ToString() + " not possible in cell");
+}
+
+Result<std::vector<Relation>> Encoder::DecodeCurrentInstances() const {
+  std::vector<Relation> out;
+  out.reserve(spec_->num_instances());
+  // Per-instance map entity -> (attr -> value) read from the cell vars.
+  for (int i = 0; i < spec_->num_instances(); ++i) {
+    const TemporalInstance& inst = spec_->instance(i);
+    Relation lst(inst.schema());
+    for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+      (void)members;
+      std::vector<Value> values(inst.schema().arity());
+      values[0] = eid;
+      for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+        auto it = cell_index_[i].find({a, eid});
+        if (it == cell_index_[i].end()) {
+          return Status::Internal("missing cell in encoder");
+        }
+        const Cell& cell = cells_[it->second];
+        Value chosen;
+        bool found = false;
+        for (size_t k = 0; k < cell.values.size(); ++k) {
+          if (solver_->ModelValue(cell.value_vars[k])) {
+            chosen = cell.values[k];
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::Internal("model selects no current value for " +
+                                  eid.ToString());
+        }
+        values[a] = chosen;
+      }
+      RETURN_IF_ERROR(lst.Append(Tuple(std::move(values))).status());
+    }
+    out.push_back(std::move(lst));
+  }
+  return out;
+}
+
+Completion Encoder::ExtractCompletion() const {
+  Completion completion;
+  completion.orders.resize(spec_->num_instances());
+  for (int i = 0; i < spec_->num_instances(); ++i) {
+    const TemporalInstance& inst = spec_->instance(i);
+    completion.orders[i].assign(inst.schema().arity(),
+                                PartialOrder(inst.relation().size()));
+    for (const auto& [key, base] : pair_base_[i]) {
+      auto [u, v] = key;
+      for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+        bool u_before_v = solver_->ModelValue(base + (a - 1));
+        // Completions are acyclic by construction (transitivity clauses),
+        // so TryAdd cannot fail on a model.
+        if (u_before_v) {
+          completion.orders[i][a].TryAdd(u, v);
+        } else {
+          completion.orders[i][a].TryAdd(v, u);
+        }
+      }
+    }
+  }
+  return completion;
+}
+
+}  // namespace currency::core

@@ -1,0 +1,126 @@
+// Order-literal SAT encoding of consistent completions.
+//
+// A completion chooses a total order per (instance, attribute, entity
+// group).  We introduce one Boolean variable per canonical same-entity
+// tuple pair (u < v): true means u ≺ v, false means v ≺ u — totality and
+// antisymmetry are built into the representation.  Clauses:
+//   * transitivity over every ordered triple of an entity group,
+//   * unit clauses for the initial partial orders,
+//   * copy ≺-compatibility implications ord_src(s1,s2) → ord_tgt(t1,t2),
+//   * grounded denial constraints (premise literals → conclusion literal),
+//   * optional "is-last" selector variables L(u) ⇔ ⋀_{v≠u} ord(v,u), used
+//     by CCQA/DCIP to project models onto distinct current instances.
+//
+// Models of the encoding are exactly the consistent completions of the
+// specification (validated against the brute-force oracle in tests), so
+// CPS = SAT, COP = entailment checks, DCIP/CCQA = projected enumeration —
+// the CDCL solver plays the NP oracle of the paper's upper-bound proofs
+// (Theorems 3.1, 3.4, 3.5).
+
+#ifndef CURRENCY_SRC_CORE_ENCODER_H_
+#define CURRENCY_SRC_CORE_ENCODER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/completion.h"
+#include "src/core/specification.h"
+#include "src/sat/solver.h"
+
+namespace currency::core {
+
+/// Builds and owns the SAT encoding of a specification.
+class Encoder {
+ public:
+  struct Options {
+    /// Ground denial constraints into clauses (disable only to measure
+    /// their cost; solvers require it for correctness).
+    bool ground_denial_constraints = true;
+    /// Seed the solver with the chase's certain orders as unit clauses
+    /// (sound strengthening; ablation knob for bench_ablation).
+    bool seed_with_chase = false;
+    /// Create the is-last selector variables (needed by CCQA and DCIP).
+    bool define_is_last = true;
+  };
+
+  /// Builds the encoding.  Fails only on malformed specifications; an
+  /// encoding that is already unsatisfiable at level 0 builds fine (the
+  /// solver simply reports UNSAT).
+  static Result<std::unique_ptr<Encoder>> Build(const Specification& spec,
+                                                const Options& options);
+  /// Builds with default options.
+  static Result<std::unique_ptr<Encoder>> Build(const Specification& spec);
+
+  /// The underlying solver (add clauses / solve / enumerate through it).
+  sat::Solver& solver() { return *solver_; }
+
+  /// True iff tuples u and v of instance `inst` share an entity (and are
+  /// distinct), i.e. an order variable exists for them.
+  bool HasPairVar(int inst, TupleId u, TupleId v) const;
+
+  /// Literal asserting "u ≺_attr v" (requires HasPairVar(inst, u, v)).
+  sat::Lit OrdLit(int inst, AttrIndex attr, TupleId u, TupleId v) const;
+
+  /// Selector variable "u is the most current tuple of its entity for
+  /// `attr`" (requires options.define_is_last).
+  sat::Var IsLastVar(int inst, AttrIndex attr, TupleId u) const;
+
+  /// A cell of the current instance: one (instance, attribute, entity)
+  /// triple, with one Boolean per distinct candidate value ("the current
+  /// value of this cell is values[k]" ⇔ value_vars[k]).  Distinct tuples
+  /// carrying equal values collapse into one candidate, so projections on
+  /// cell variables enumerate distinct current instances *by value*.
+  struct Cell {
+    int inst;
+    AttrIndex attr;
+    Value eid;
+    std::vector<Value> values;
+    std::vector<sat::Var> value_vars;
+  };
+
+  /// All cells (requires options.define_is_last).
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Cell-value variables of the given instances, in layout order, for
+  /// projected model enumeration (pass all instances for full projection).
+  std::vector<sat::Var> CellProjection(const std::vector<int>& instances) const;
+
+  /// The literal "current value of cell (inst, attr, eid) is v".
+  /// Fails if the entity or value does not occur.
+  Result<sat::Lit> CellValueLit(int inst, AttrIndex attr, const Value& eid,
+                                const Value& v) const;
+
+  /// Decodes the solver's current model into current instances, one
+  /// Relation per instance (valid right after a kSat Solve call).
+  Result<std::vector<Relation>> DecodeCurrentInstances() const;
+
+  /// Extracts the completion from the solver's current model (valid right
+  /// after a kSat Solve call).
+  Completion ExtractCompletion() const;
+
+  /// Number of order variables (for the benchmarks).
+  int num_order_vars() const { return num_order_vars_; }
+
+ private:
+  Encoder() = default;
+
+  Status BuildImpl(const Specification& spec, const Options& options);
+
+  const Specification* spec_ = nullptr;
+  std::unique_ptr<sat::Solver> solver_;
+  /// pair_var_[inst][key(u,v)] with u < v canonical.
+  std::vector<std::map<std::pair<TupleId, TupleId>, int>> pair_base_;
+  /// Var id = base + (attr - 1); one var per data attribute per pair.
+  int num_order_vars_ = 0;
+  /// is_last_var_[inst][attr][tuple]; -1 when undefined.
+  std::vector<std::vector<std::vector<sat::Var>>> is_last_var_;
+  std::vector<Cell> cells_;
+  /// cell_index_[inst] maps (attr, eid) -> index into cells_.
+  std::vector<std::map<std::pair<AttrIndex, Value>, int>> cell_index_;
+};
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_ENCODER_H_

@@ -1,0 +1,92 @@
+#include "src/core/sp_ccqa.h"
+
+#include <set>
+
+#include "src/core/chase.h"
+#include "src/query/classify.h"
+#include "src/query/eval.h"
+
+namespace currency::core {
+
+namespace {
+
+/// Marker prefix for the fresh constants c_{e,A}.  \x01 cannot appear in
+/// identifier-like data and keeps the constants distinct from every value
+/// of the active domain.
+constexpr char kFreshPrefix[] = "\x01poss#";
+
+}  // namespace
+
+bool IsFreshPossConstant(const Value& v) {
+  if (v.kind() != ValueKind::kString) return false;
+  const std::string& s = v.AsString();
+  return s.rfind(kFreshPrefix, 0) == 0;
+}
+
+Result<Relation> BuildPossRelation(
+    const Specification& spec,
+    const std::vector<std::vector<PartialOrder>>& certain_orders, int inst) {
+  const TemporalInstance& instance = spec.instance(inst);
+  const Relation& rel = instance.relation();
+  Relation poss(instance.schema());
+  int64_t fresh_counter = 0;
+  for (const auto& [eid, members] : rel.EntityGroups()) {
+    std::vector<Value> values(instance.schema().arity());
+    values[0] = eid;
+    for (AttrIndex a = 1; a < instance.schema().arity(); ++a) {
+      const PartialOrder& po = certain_orders[inst][a];
+      std::vector<int> sinks = po.SinksWithin(members);
+      std::set<Value> possible;
+      for (int s : sinks) possible.insert(rel.tuple(s).at(a));
+      if (possible.size() == 1) {
+        values[a] = *possible.begin();
+      } else {
+        values[a] =
+            Value(std::string(kFreshPrefix) + std::to_string(fresh_counter++));
+      }
+    }
+    RETURN_IF_ERROR(poss.Append(Tuple(std::move(values))).status());
+  }
+  return poss;
+}
+
+Result<std::set<Tuple>> SpCertainCurrentAnswers(const Specification& spec,
+                                                const query::Query& q) {
+  if (spec.HasDenialConstraints()) {
+    return Status::Unsupported(
+        "Proposition 6.3 applies only without denial constraints");
+  }
+  if (!query::IsSpQuery(q)) {
+    return Status::Unsupported("Proposition 6.3 applies only to SP queries");
+  }
+  std::vector<std::string> rels = q.body->Relations();
+  if (rels.size() != 1) {
+    return Status::Unsupported("SP query must reference exactly one relation");
+  }
+  ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(rels[0]));
+
+  ASSIGN_OR_RETURN(ChaseResult chase, ChaseCopyOrders(spec));
+  if (!chase.consistent) {
+    return Status::Inconsistent(
+        "Mod(S) is empty: every tuple is vacuously a certain answer");
+  }
+  ASSIGN_OR_RETURN(Relation poss,
+                   BuildPossRelation(spec, chase.certain_orders, inst));
+  query::Database db{{rels[0], &poss}};
+  ASSIGN_OR_RETURN(std::set<Tuple> raw, query::EvalQuery(q, db));
+  // Discard tuples carrying fresh constants (Step 4 of the proof).
+  std::set<Tuple> out;
+  for (const Tuple& t : raw) {
+    bool fresh = false;
+    for (const Value& v : t.values()) {
+      if (IsFreshPossConstant(v)) {
+        fresh = true;
+        break;
+      }
+    }
+    if (!fresh) out.insert(t);
+  }
+  return out;
+}
+
+}  // namespace currency::core

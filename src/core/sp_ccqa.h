@@ -1,0 +1,40 @@
+// The PTIME CCQA algorithm for SP queries on specifications without
+// denial constraints (Proposition 6.3).
+//
+// The construction mirrors the proof: compute PO∞ with the chase; for each
+// entity e and attribute A collect S(e,A), the A-values of the sinks of
+// PO∞ on e's tuples (the possible most-current values); build the relation
+// poss(S) whose tuple for e carries the unique possible value, or a fresh
+// constant c_{e,A} when several exist; evaluate Q on poss(S) and discard
+// result tuples containing fresh constants.
+
+#ifndef CURRENCY_SRC_CORE_SP_CCQA_H_
+#define CURRENCY_SRC_CORE_SP_CCQA_H_
+
+#include <set>
+
+#include "src/common/result.h"
+#include "src/core/specification.h"
+#include "src/query/ast.h"
+
+namespace currency::core {
+
+/// Certain current answers for an SP query without denial constraints.
+/// Fails with Unsupported when `q` is not SP or `spec` carries denial
+/// constraints; with Inconsistent when Mod(S) = ∅.
+Result<std::set<Tuple>> SpCertainCurrentAnswers(const Specification& spec,
+                                                const query::Query& q);
+
+/// Builds poss(S) for instance `inst` from the chase-certain orders (the
+/// c_{e,A} fresh constants are strings with an internal marker prefix).
+/// Exposed for tests and the Proposition 6.3 benchmarks.
+Result<Relation> BuildPossRelation(
+    const Specification& spec,
+    const std::vector<std::vector<PartialOrder>>& certain_orders, int inst);
+
+/// True iff `v` is one of the fresh constants minted by BuildPossRelation.
+bool IsFreshPossConstant(const Value& v);
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_SP_CCQA_H_

@@ -1,0 +1,115 @@
+#include "src/core/specification.h"
+
+#include "src/constraints/parser.h"
+
+namespace currency::core {
+
+Status Specification::AddInstance(TemporalInstance instance) {
+  const std::string& name = instance.name();
+  auto [it, inserted] = index_.emplace(name, num_instances());
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("duplicate relation '" + name +
+                                   "' in specification");
+  }
+  instances_.push_back(std::move(instance));
+  constraints_.emplace_back();
+  return Status::OK();
+}
+
+Status Specification::AddConstraint(constraints::DenialConstraint constraint) {
+  ASSIGN_OR_RETURN(int i, InstanceIndex(constraint.relation_name()));
+  constraints_[i].push_back(std::move(constraint));
+  return Status::OK();
+}
+
+Status Specification::AddConstraintText(const std::string& text) {
+  // The constraint names its relation after IN; try each schema until the
+  // parser accepts (the parser validates the relation name).
+  Status last = Status::InvalidArgument("no instances in specification");
+  for (const TemporalInstance& inst : instances_) {
+    auto parsed = constraints::ParseConstraint(inst.schema(), text);
+    if (parsed.ok()) return AddConstraint(std::move(parsed).value());
+    last = parsed.status();
+  }
+  return last;
+}
+
+Status Specification::AddCopyFunction(copy::CopyFunction fn) {
+  ASSIGN_OR_RETURN(int target,
+                   InstanceIndex(fn.signature().target_relation));
+  ASSIGN_OR_RETURN(int source,
+                   InstanceIndex(fn.signature().source_relation));
+  RETURN_IF_ERROR(
+      fn.Validate(instances_[target].relation(), instances_[source].relation()));
+  CopyEdge edge;
+  edge.source_instance = source;
+  edge.target_instance = target;
+  edge.fn = std::move(fn);
+  copy_edges_.push_back(std::move(edge));
+  return Status::OK();
+}
+
+Result<int> Specification::InstanceIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("relation '" + name + "' not in specification");
+  }
+  return it->second;
+}
+
+bool Specification::HasDenialConstraints() const {
+  for (const auto& cs : constraints_) {
+    if (!cs.empty()) return true;
+  }
+  return false;
+}
+
+Result<TupleId> Specification::AppendCopiedTuple(int copy_edge_index,
+                                                 TupleId source_tuple,
+                                                 const Value& target_eid) {
+  if (copy_edge_index < 0 ||
+      copy_edge_index >= static_cast<int>(copy_edges_.size())) {
+    return Status::InvalidArgument("copy edge index out of range");
+  }
+  CopyEdge& edge = copy_edges_[copy_edge_index];
+  TemporalInstance& target = instances_[edge.target_instance];
+  const TemporalInstance& source = instances_[edge.source_instance];
+  if (!edge.fn.CoversAllTargetAttributes(target.schema())) {
+    return Status::FailedPrecondition(
+        "only copy functions covering all target attributes can be "
+        "extended: " +
+        edge.fn.signature().ToString());
+  }
+  if (source_tuple < 0 || source_tuple >= source.relation().size()) {
+    return Status::InvalidArgument("source tuple out of range");
+  }
+  ASSIGN_OR_RETURN(auto attrs,
+                   edge.fn.ResolveAttrs(target.schema(), source.schema()));
+  std::vector<Value> values(target.schema().arity());
+  values[0] = target_eid;
+  for (const auto& [a, b] : attrs) {
+    values[a] = source.relation().tuple(source_tuple).at(b);
+  }
+  ASSIGN_OR_RETURN(TupleId id, target.AppendTuple(Tuple(std::move(values))));
+  RETURN_IF_ERROR(edge.fn.Map(id, source_tuple));
+  return id;
+}
+
+query::Database Specification::EmbeddedDatabase() const {
+  query::Database db;
+  for (const TemporalInstance& inst : instances_) {
+    db[inst.name()] = &inst.relation();
+  }
+  return db;
+}
+
+int64_t Specification::TotalTuples() const {
+  int64_t total = 0;
+  for (const TemporalInstance& inst : instances_) {
+    total += inst.relation().size();
+  }
+  return total;
+}
+
+}  // namespace currency::core

@@ -1,0 +1,45 @@
+#include "src/core/temporal_instance.h"
+
+namespace currency::core {
+
+Status TemporalInstance::AddOrder(AttrIndex attr, TupleId u, TupleId v) {
+  if (attr < 1 || attr >= schema().arity()) {
+    return Status::InvalidArgument(
+        "currency orders are defined on data attributes only");
+  }
+  if (u < 0 || u >= relation_.size() || v < 0 || v >= relation_.size()) {
+    return Status::InvalidArgument("tuple id out of range");
+  }
+  if (!(relation_.tuple(u).eid() == relation_.tuple(v).eid())) {
+    return Status::InvalidArgument(
+        "currency orders only relate tuples of one entity: " +
+        relation_.tuple(u).ToString() + " vs " + relation_.tuple(v).ToString());
+  }
+  return orders_[attr].Add(u, v);
+}
+
+Status TemporalInstance::AddOrderByName(const std::string& attr, TupleId u,
+                                        TupleId v) {
+  ASSIGN_OR_RETURN(AttrIndex a, schema().IndexOf(attr));
+  return AddOrder(a, u, v);
+}
+
+Result<TupleId> TemporalInstance::AppendTuple(Tuple tuple) {
+  ASSIGN_OR_RETURN(TupleId id, relation_.Append(std::move(tuple)));
+  for (PartialOrder& po : orders_) {
+    RETURN_IF_ERROR(po.Resize(relation_.size()));
+  }
+  return id;
+}
+
+int64_t TemporalInstance::NumEntityPairs() const {
+  int64_t total = 0;
+  for (const auto& [eid, members] : relation_.EntityGroups()) {
+    (void)eid;
+    int64_t m = static_cast<int64_t>(members.size());
+    total += m * (m - 1) / 2;
+  }
+  return total;
+}
+
+}  // namespace currency::core

@@ -1,0 +1,58 @@
+// TemporalInstance: a normal instance D plus one partial currency order
+// ≺_A per data attribute (Section 2: D_t = (D, ≺_A1, ..., ≺_An)).
+//
+// Currency orders only relate tuples of one entity (t1 ≺ t2 implies
+// t1[EID] = t2[EID]); AddOrder enforces this.
+
+#ifndef CURRENCY_SRC_CORE_TEMPORAL_INSTANCE_H_
+#define CURRENCY_SRC_CORE_TEMPORAL_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/order/partial_order.h"
+#include "src/relational/relation.h"
+
+namespace currency::core {
+
+/// A temporal instance: relation + per-attribute partial currency orders.
+/// orders()[a] is the order for attribute index a; index 0 (EID) is kept
+/// as an always-empty placeholder so attribute indices line up.
+class TemporalInstance {
+ public:
+  TemporalInstance() = default;
+  explicit TemporalInstance(Relation relation)
+      : relation_(std::move(relation)),
+        orders_(relation_.schema().arity(), PartialOrder(relation_.size())) {}
+
+  const Relation& relation() const { return relation_; }
+  const Schema& schema() const { return relation_.schema(); }
+  const std::string& name() const { return schema().relation_name(); }
+
+  const std::vector<PartialOrder>& orders() const { return orders_; }
+  const PartialOrder& order(AttrIndex attr) const { return orders_[attr]; }
+
+  /// Declares u ≺_attr v.  Fails if attr is the EID, the tuples belong to
+  /// different entities, or the pair would create a cycle.
+  Status AddOrder(AttrIndex attr, TupleId u, TupleId v);
+
+  /// Same, resolving the attribute by name.
+  Status AddOrderByName(const std::string& attr, TupleId u, TupleId v);
+
+  /// Appends a tuple (no initial orders on it).  Used when extensions of
+  /// copy functions import new tuples (Section 4).
+  Result<TupleId> AppendTuple(Tuple tuple);
+
+  /// Total number of same-entity tuple pairs (u < v), i.e. the number of
+  /// order decisions a completion has to make per attribute.
+  int64_t NumEntityPairs() const;
+
+ private:
+  Relation relation_;
+  std::vector<PartialOrder> orders_;
+};
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_TEMPORAL_INSTANCE_H_

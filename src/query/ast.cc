@@ -1,0 +1,211 @@
+#include "src/query/ast.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace currency::query {
+
+std::string Term::ToString() const {
+  if (is_var()) return var;
+  if (constant.kind() == ValueKind::kString) return "'" + constant.ToString() + "'";
+  return constant.ToString();
+}
+
+FormulaPtr Formula::Atom(std::string relation, std::vector<Term> args) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAtom;
+  f->relation_ = std::move(relation);
+  f->args_ = std::move(args);
+  return f;
+}
+
+FormulaPtr Formula::Compare(CmpOp op, Term lhs, Term rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kCompare;
+  f->cmp_op_ = op;
+  f->lhs_ = std::move(lhs);
+  f->rhs_ = std::move(rhs);
+  return f;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> children) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAnd;
+  f->children_ = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> children) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kOr;
+  f->children_ = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kNot;
+  f->children_.push_back(std::move(child));
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::vector<std::string> vars, FormulaPtr body) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kExists;
+  f->vars_ = std::move(vars);
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::Forall(std::vector<std::string> vars, FormulaPtr body) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kForall;
+  f->children_.push_back(std::move(body));
+  f->vars_ = std::move(vars);
+  return f;
+}
+
+namespace {
+
+void CollectFree(const Formula& f, std::set<std::string>* bound,
+                 std::vector<std::string>* out, std::set<std::string>* seen) {
+  auto add_term = [&](const Term& t) {
+    if (t.is_var() && !bound->count(t.var) && !seen->count(t.var)) {
+      seen->insert(t.var);
+      out->push_back(t.var);
+    }
+  };
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+      for (const Term& t : f.args()) add_term(t);
+      break;
+    case Formula::Kind::kCompare:
+      add_term(f.lhs());
+      add_term(f.rhs());
+      break;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      for (const auto& c : f.children()) CollectFree(*c, bound, out, seen);
+      break;
+    case Formula::Kind::kNot:
+      CollectFree(*f.child(), bound, out, seen);
+      break;
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      std::vector<std::string> newly;
+      for (const std::string& v : f.quantified_vars()) {
+        if (bound->insert(v).second) newly.push_back(v);
+      }
+      CollectFree(*f.child(), bound, out, seen);
+      for (const std::string& v : newly) bound->erase(v);
+      break;
+    }
+  }
+}
+
+void CollectConstants(const Formula& f, std::vector<Value>* out) {
+  auto add_term = [&](const Term& t) {
+    if (!t.is_var()) out->push_back(t.constant);
+  };
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+      for (const Term& t : f.args()) add_term(t);
+      break;
+    case Formula::Kind::kCompare:
+      add_term(f.lhs());
+      add_term(f.rhs());
+      break;
+    default:
+      for (const auto& c : f.children()) CollectConstants(*c, out);
+      break;
+  }
+}
+
+void CollectRelations(const Formula& f, std::vector<std::string>* out) {
+  if (f.kind() == Formula::Kind::kAtom) {
+    if (std::find(out->begin(), out->end(), f.relation()) == out->end()) {
+      out->push_back(f.relation());
+    }
+    return;
+  }
+  for (const auto& c : f.children()) CollectRelations(*c, out);
+}
+
+}  // namespace
+
+std::vector<std::string> Formula::FreeVariables() const {
+  std::set<std::string> bound, seen;
+  std::vector<std::string> out;
+  CollectFree(*this, &bound, &out, &seen);
+  return out;
+}
+
+std::vector<Value> Formula::Constants() const {
+  std::vector<Value> out;
+  CollectConstants(*this, &out);
+  return out;
+}
+
+std::vector<std::string> Formula::Relations() const {
+  std::vector<std::string> out;
+  CollectRelations(*this, &out);
+  return out;
+}
+
+std::string Formula::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kAtom: {
+      os << relation_ << "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) os << ", ";
+        os << args_[i].ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kCompare:
+      os << lhs_.ToString() << " " << CmpOpToString(cmp_op_) << " "
+         << rhs_.ToString();
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = (kind_ == Kind::kAnd) ? " AND " : " OR ";
+      os << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << sep;
+        os << children_[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kNot:
+      os << "NOT " << children_[0]->ToString();
+      break;
+    case Kind::kExists:
+    case Kind::kForall: {
+      os << (kind_ == Kind::kExists ? "EXISTS " : "FORALL ");
+      for (size_t i = 0; i < vars_.size(); ++i) {
+        if (i) os << ", ";
+        os << vars_[i];
+      }
+      os << ": " << children_[0]->ToString();
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  os << name << "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i) os << ", ";
+    os << head[i];
+  }
+  os << ") := " << (body ? body->ToString() : "<null>");
+  return os.str();
+}
+
+}  // namespace currency::query

@@ -1,0 +1,117 @@
+// First-order query AST (Section 3 of the paper).
+//
+// Queries are posed against *normal* instances (current instances LST(Dc))
+// and never mention currency orders.  The AST covers full FO — atoms,
+// comparisons, ∧, ∨, ¬, ∃, ∀ — and the classifier (classify.h) identifies
+// the fragments the paper studies: CQ, UCQ, ∃FO+, FO and SP.
+
+#ifndef CURRENCY_SRC_QUERY_AST_H_
+#define CURRENCY_SRC_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/cmp.h"
+#include "src/common/value.h"
+
+namespace currency::query {
+
+/// A term: either a variable (by name) or a constant.
+struct Term {
+  enum class Kind { kVar, kConst };
+  Kind kind = Kind::kVar;
+  std::string var;    ///< valid iff kind == kVar
+  Value constant;     ///< valid iff kind == kConst
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = std::move(v);
+    return t;
+  }
+  bool is_var() const { return kind == Kind::kVar; }
+  std::string ToString() const;
+};
+
+class Formula;
+/// Formulas are immutable and shared; sub-formulas may be reused freely.
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// An FO formula node.
+class Formula {
+ public:
+  enum class Kind { kAtom, kCompare, kAnd, kOr, kNot, kExists, kForall };
+
+  Kind kind() const { return kind_; }
+
+  // --- kAtom ---
+  const std::string& relation() const { return relation_; }
+  const std::vector<Term>& args() const { return args_; }
+
+  // --- kCompare ---
+  CmpOp cmp_op() const { return cmp_op_; }
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+
+  // --- kAnd / kOr ---
+  const std::vector<FormulaPtr>& children() const { return children_; }
+
+  // --- kNot / kExists / kForall ---
+  const FormulaPtr& child() const { return children_[0]; }
+
+  // --- kExists / kForall ---
+  const std::vector<std::string>& quantified_vars() const { return vars_; }
+
+  /// Factories.
+  static FormulaPtr Atom(std::string relation, std::vector<Term> args);
+  static FormulaPtr Compare(CmpOp op, Term lhs, Term rhs);
+  static FormulaPtr And(std::vector<FormulaPtr> children);
+  static FormulaPtr Or(std::vector<FormulaPtr> children);
+  static FormulaPtr Not(FormulaPtr child);
+  static FormulaPtr Exists(std::vector<std::string> vars, FormulaPtr body);
+  static FormulaPtr Forall(std::vector<std::string> vars, FormulaPtr body);
+
+  /// Free variables of the formula, in first-occurrence order.
+  std::vector<std::string> FreeVariables() const;
+
+  /// All constants appearing in the formula (for active-domain semantics).
+  std::vector<Value> Constants() const;
+
+  /// Relation names mentioned by atoms.
+  std::vector<std::string> Relations() const;
+
+  std::string ToString() const;
+
+ private:
+  Formula() = default;
+
+  Kind kind_ = Kind::kAtom;
+  std::string relation_;
+  std::vector<Term> args_;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  Term lhs_, rhs_;
+  std::vector<FormulaPtr> children_;
+  std::vector<std::string> vars_;
+};
+
+/// A named query: head variables (the output schema) plus an FO body.
+/// Every head variable must occur free in the body.
+struct Query {
+  std::string name;
+  std::vector<std::string> head;
+  FormulaPtr body;
+
+  /// "Q(x, y) := <body>".
+  std::string ToString() const;
+};
+
+}  // namespace currency::query
+
+#endif  // CURRENCY_SRC_QUERY_AST_H_

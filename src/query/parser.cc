@@ -1,0 +1,202 @@
+#include "src/query/parser.h"
+
+#include "src/common/lexer.h"
+
+namespace currency::query {
+
+namespace {
+
+bool IsAnyKeyword(const Token& t) {
+  return TokenIsKeyword(t, "AND") || TokenIsKeyword(t, "OR") ||
+         TokenIsKeyword(t, "NOT") || TokenIsKeyword(t, "EXISTS") ||
+         TokenIsKeyword(t, "FORALL");
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQueryTop() {
+    Query q;
+    if (Peek().kind != Tok::kIdent || IsAnyKeyword(Peek())) {
+      return Err("expected query name");
+    }
+    q.name = Next().text;
+    RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    if (Peek().kind != Tok::kRParen) {
+      while (true) {
+        if (Peek().kind != Tok::kIdent || IsAnyKeyword(Peek())) {
+          return Err("expected head variable");
+        }
+        q.head.push_back(Next().text);
+        if (Peek().kind == Tok::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    RETURN_IF_ERROR(Expect(Tok::kAssign, "':='"));
+    ASSIGN_OR_RETURN(q.body, ParseOr());
+    if (Peek().kind != Tok::kEnd) return Err("trailing input");
+    // Head variables must be free in the body.
+    auto free = q.body->FreeVariables();
+    for (const auto& h : q.head) {
+      bool found = false;
+      for (const auto& f : free) {
+        if (f == h) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("head variable '" + h +
+                                       "' is not free in the body");
+      }
+    }
+    return q;
+  }
+
+  Result<FormulaPtr> ParseFormulaTop() {
+    ASSIGN_OR_RETURN(FormulaPtr f, ParseOr());
+    if (Peek().kind != Tok::kEnd) return Err("trailing input");
+    return f;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Expect(Tok kind, const char* what) {
+    if (Peek().kind != kind) return Err(std::string("expected ") + what);
+    Next();
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(Peek().pos));
+  }
+
+  Result<FormulaPtr> ParseOr() {
+    ASSIGN_OR_RETURN(FormulaPtr first, ParseAnd());
+    std::vector<FormulaPtr> parts{first};
+    while (TokenIsKeyword(Peek(), "OR")) {
+      Next();
+      ASSIGN_OR_RETURN(FormulaPtr next, ParseAnd());
+      parts.push_back(next);
+    }
+    if (parts.size() == 1) return parts[0];
+    return Formula::Or(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(FormulaPtr first, ParseUnary());
+    std::vector<FormulaPtr> parts{first};
+    while (TokenIsKeyword(Peek(), "AND")) {
+      Next();
+      ASSIGN_OR_RETURN(FormulaPtr next, ParseUnary());
+      parts.push_back(next);
+    }
+    if (parts.size() == 1) return parts[0];
+    return Formula::And(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (TokenIsKeyword(Peek(), "NOT")) {
+      Next();
+      ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
+      return Formula::Not(std::move(body));
+    }
+    if (TokenIsKeyword(Peek(), "EXISTS") || TokenIsKeyword(Peek(), "FORALL")) {
+      bool exists = TokenIsKeyword(Peek(), "EXISTS");
+      Next();
+      std::vector<std::string> vars;
+      while (true) {
+        if (Peek().kind != Tok::kIdent || IsAnyKeyword(Peek())) {
+          return Err("expected quantified variable");
+        }
+        vars.push_back(Next().text);
+        if (Peek().kind == Tok::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      RETURN_IF_ERROR(Expect(Tok::kColon, "':' after quantifier variables"));
+      ASSIGN_OR_RETURN(FormulaPtr body, ParseOr());
+      return exists ? Formula::Exists(std::move(vars), std::move(body))
+                    : Formula::Forall(std::move(vars), std::move(body));
+    }
+    if (Peek().kind == Tok::kLParen) {
+      Next();
+      ASSIGN_OR_RETURN(FormulaPtr inner, ParseOr());
+      RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return inner;
+    }
+    // Relation atom: IDENT '(' ... ')'.
+    if (Peek().kind == Tok::kIdent && !IsAnyKeyword(Peek()) &&
+        Peek(1).kind == Tok::kLParen) {
+      std::string rel = Next().text;
+      Next();  // '('
+      std::vector<Term> args;
+      if (Peek().kind != Tok::kRParen) {
+        while (true) {
+          ASSIGN_OR_RETURN(Term t, ParseTerm());
+          args.push_back(std::move(t));
+          if (Peek().kind == Tok::kComma) {
+            Next();
+            continue;
+          }
+          break;
+        }
+      }
+      RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return Formula::Atom(std::move(rel), std::move(args));
+    }
+    // Comparison: term CMP term.
+    ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (Peek().kind != Tok::kCmp) return Err("expected comparison operator");
+    CmpOp op = Next().cmp;
+    ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Formula::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    if (t.kind == Tok::kIdent && !IsAnyKeyword(t)) {
+      Next();
+      return Term::Var(t.text);
+    }
+    if (t.kind == Tok::kNumber || t.kind == Tok::kString) {
+      Next();
+      return Term::Const(t.value);
+    }
+    return Status::InvalidArgument("expected term at position " +
+                                   std::to_string(t.pos));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, LexText(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQueryTop();
+}
+
+Result<FormulaPtr> ParseFormula(const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, LexText(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseFormulaTop();
+}
+
+}  // namespace currency::query

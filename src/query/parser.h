@@ -1,0 +1,37 @@
+// Text syntax for queries, so the paper's Q1–Q4 read almost verbatim:
+//
+//   Q1(s) := EXISTS e, fn, ln, a, st: Emp(e, fn, ln, a, s, st) AND e = 'Mary'
+//
+// Grammar (keywords case-insensitive; identifiers case-sensitive):
+//
+//   query    := IDENT '(' [vars] ')' ':=' formula
+//   formula  := or
+//   or       := and (OR and)*
+//   and      := unary (AND unary)*
+//   unary    := NOT unary
+//             | EXISTS vars ':' formula       (scope: maximal to the right)
+//             | FORALL vars ':' formula
+//             | '(' formula ')'
+//             | IDENT '(' [terms] ')'          (relation atom)
+//             | term cmp term                  (cmp: = != < <= > >=)
+//   term     := IDENT | NUMBER | 'string' | "string"
+
+#ifndef CURRENCY_SRC_QUERY_PARSER_H_
+#define CURRENCY_SRC_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/query/ast.h"
+
+namespace currency::query {
+
+/// Parses "Name(x, y) := <formula>".
+Result<Query> ParseQuery(const std::string& text);
+
+/// Parses a bare formula.
+Result<FormulaPtr> ParseFormula(const std::string& text);
+
+}  // namespace currency::query
+
+#endif  // CURRENCY_SRC_QUERY_PARSER_H_

@@ -1,0 +1,83 @@
+#include "src/reductions/formulas.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace currency::reductions {
+
+Result<bool> SolveBetweennessBruteForce(const BetweennessInstance& inst,
+                                        int max_elements) {
+  if (inst.num_elements > max_elements) {
+    return Status::ResourceExhausted("Betweenness oracle limited to " +
+                                     std::to_string(max_elements) +
+                                     " elements");
+  }
+  std::vector<int> pos(inst.num_elements);
+  std::iota(pos.begin(), pos.end(), 0);
+  do {
+    bool ok = true;
+    for (const auto& [a, b, c] : inst.triples) {
+      bool asc = pos[a] < pos[b] && pos[b] < pos[c];
+      bool desc = pos[c] < pos[b] && pos[b] < pos[a];
+      if (!asc && !desc) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  } while (std::next_permutation(pos.begin(), pos.end()));
+  return false;
+}
+
+BetweennessInstance RandomBetweenness(int num_elements, int num_triples,
+                                      std::mt19937* rng) {
+  BetweennessInstance inst;
+  inst.num_elements = num_elements;
+  std::uniform_int_distribution<int> dist(0, num_elements - 1);
+  for (int t = 0; t < num_triples; ++t) {
+    int a = dist(*rng), b = dist(*rng), c = dist(*rng);
+    while (b == a) b = dist(*rng);
+    while (c == a || c == b) c = dist(*rng);
+    inst.triples.push_back({a, b, c});
+  }
+  return inst;
+}
+
+Status ValidateShape(const sat::Qbf& qbf, const std::vector<bool>& block_shape,
+                     bool matrix_is_cnf) {
+  if (qbf.prefix.size() != block_shape.size()) {
+    return Status::InvalidArgument("reduction expects " +
+                                   std::to_string(block_shape.size()) +
+                                   " quantifier blocks");
+  }
+  for (size_t i = 0; i < block_shape.size(); ++i) {
+    if (qbf.prefix[i].exists != block_shape[i]) {
+      return Status::InvalidArgument("quantifier block " + std::to_string(i) +
+                                     " has the wrong kind");
+    }
+    if (qbf.prefix[i].vars.empty()) {
+      return Status::InvalidArgument("empty quantifier block");
+    }
+  }
+  if (qbf.matrix_is_cnf != matrix_is_cnf) {
+    return Status::InvalidArgument(matrix_is_cnf
+                                       ? "reduction expects a CNF matrix"
+                                       : "reduction expects a DNF matrix");
+  }
+  if (qbf.terms.empty()) {
+    return Status::InvalidArgument("empty matrix");
+  }
+  for (const auto& term : qbf.terms) {
+    if (term.empty() || term.size() > 3) {
+      return Status::InvalidArgument("matrix terms must have 1..3 literals");
+    }
+    for (sat::Lit l : term) {
+      if (sat::LitVar(l) < 0 || sat::LitVar(l) >= qbf.num_vars) {
+        return Status::InvalidArgument("literal out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace currency::reductions

@@ -1,0 +1,42 @@
+// Source problems of the paper's lower-bound reductions: quantified
+// Boolean formulas (via src/sat/qbf.h) and the Betweenness problem
+// (Theorem 3.1's data-complexity reduction), with brute-force oracles
+// used to cross-validate every reduction.
+
+#ifndef CURRENCY_SRC_REDUCTIONS_FORMULAS_H_
+#define CURRENCY_SRC_REDUCTIONS_FORMULAS_H_
+
+#include <array>
+#include <random>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sat/qbf.h"
+
+namespace currency::reductions {
+
+/// An instance of the Betweenness problem (Garey & Johnson): does a
+/// bijection π of {0..n-1} exist such that every triple (a, b, c) has b
+/// strictly between a and c (in either direction)?
+struct BetweennessInstance {
+  int num_elements = 0;
+  std::vector<std::array<int, 3>> triples;
+};
+
+/// Brute-force Betweenness oracle (permutation filter; n ≤ 10 or so).
+Result<bool> SolveBetweennessBruteForce(const BetweennessInstance& inst,
+                                        int max_elements = 10);
+
+/// Random Betweenness instance with distinct elements per triple.
+BetweennessInstance RandomBetweenness(int num_elements, int num_triples,
+                                      std::mt19937* rng);
+
+/// Validates that `qbf` has the prefix shape required by a reduction:
+/// exactly `block_shape.size()` blocks, alternating as given (true = ∃),
+/// and a matrix of the given kind with terms of ≤ 3 literals.
+Status ValidateShape(const sat::Qbf& qbf, const std::vector<bool>& block_shape,
+                     bool matrix_is_cnf);
+
+}  // namespace currency::reductions
+
+#endif  // CURRENCY_SRC_REDUCTIONS_FORMULAS_H_

@@ -1,0 +1,105 @@
+#include "src/reductions/gates.h"
+
+namespace currency::reductions {
+
+using query::Formula;
+using query::Term;
+
+Status AddGateRelations(core::Specification* spec) {
+  int eid = 0;
+  auto fresh = [&]() { return Value("g" + std::to_string(eid++)); };
+  ASSIGN_OR_RETURN(Schema s01, Schema::Make("R01", {"A"}));
+  Relation r01(s01);
+  RETURN_IF_ERROR(r01.AppendValues({fresh(), Value(1)}).status());
+  RETURN_IF_ERROR(r01.AppendValues({fresh(), Value(0)}).status());
+  RETURN_IF_ERROR(spec->AddInstance(core::TemporalInstance(std::move(r01))));
+
+  ASSIGN_OR_RETURN(Schema sor, Schema::Make("ROr", {"A", "A1", "A2"}));
+  Relation ror(sor);
+  for (int a1 = 0; a1 < 2; ++a1) {
+    for (int a2 = 0; a2 < 2; ++a2) {
+      RETURN_IF_ERROR(
+          ror.AppendValues({fresh(), Value(a1 | a2), Value(a1), Value(a2)})
+              .status());
+    }
+  }
+  RETURN_IF_ERROR(spec->AddInstance(core::TemporalInstance(std::move(ror))));
+
+  ASSIGN_OR_RETURN(Schema sand, Schema::Make("RAnd", {"A", "A1", "A2"}));
+  Relation rand(sand);
+  for (int a1 = 0; a1 < 2; ++a1) {
+    for (int a2 = 0; a2 < 2; ++a2) {
+      RETURN_IF_ERROR(
+          rand.AppendValues({fresh(), Value(a1 & a2), Value(a1), Value(a2)})
+              .status());
+    }
+  }
+  RETURN_IF_ERROR(spec->AddInstance(core::TemporalInstance(std::move(rand))));
+
+  ASSIGN_OR_RETURN(Schema snot, Schema::Make("RNot", {"A", "NA"}));
+  Relation rnot(snot);
+  RETURN_IF_ERROR(rnot.AppendValues({fresh(), Value(0), Value(1)}).status());
+  RETURN_IF_ERROR(rnot.AppendValues({fresh(), Value(1), Value(0)}).status());
+  RETURN_IF_ERROR(spec->AddInstance(core::TemporalInstance(std::move(rnot))));
+  return Status::OK();
+}
+
+Status AddCaRelation(core::Specification* spec, bool one_maps_to_c) {
+  ASSIGN_OR_RETURN(Schema sca, Schema::Make("Rca", {"A1", "A2"}));
+  Relation rca(sca);
+  RETURN_IF_ERROR(
+      rca.AppendValues({Value("ca0"), Value(0),
+                        Value(one_maps_to_c ? "a" : "c")})
+          .status());
+  RETURN_IF_ERROR(
+      rca.AppendValues({Value("ca1"), Value(1),
+                        Value(one_maps_to_c ? "c" : "a")})
+          .status());
+  return spec->AddInstance(core::TemporalInstance(std::move(rca)));
+}
+
+Term GateCompiler::LiteralValue(sat::Lit lit,
+                                const std::vector<Term>& var_terms) {
+  Term in = var_terms[sat::LitVar(lit)];
+  if (!sat::LitIsNeg(lit)) return in;
+  Term out = Fresh("neg");
+  atoms_->push_back(Formula::Atom("RNot", {Fresh("e"), in, out}));
+  return out;
+}
+
+Term GateCompiler::Binary(const std::string& gate, const Term& a,
+                          const Term& b) {
+  Term out = Fresh("val");
+  atoms_->push_back(Formula::Atom(gate, {Fresh("e"), out, a, b}));
+  return out;
+}
+
+Term GateCompiler::Fold(const std::string& gate,
+                        const std::vector<Term>& terms) {
+  Term acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) acc = Binary(gate, acc, terms[i]);
+  return acc;
+}
+
+Term GateCompiler::Matrix(const sat::Qbf& qbf,
+                          const std::vector<Term>& var_terms) {
+  const std::string inner = qbf.matrix_is_cnf ? "ROr" : "RAnd";
+  const std::string outer = qbf.matrix_is_cnf ? "RAnd" : "ROr";
+  std::vector<Term> term_vals;
+  for (const auto& term : qbf.terms) {
+    std::vector<Term> lit_vals;
+    for (sat::Lit lit : term) {
+      lit_vals.push_back(LiteralValue(lit, var_terms));
+    }
+    term_vals.push_back(Fold(inner, lit_vals));
+  }
+  return Fold(outer, term_vals);
+}
+
+Term GateCompiler::Fresh(const std::string& prefix) {
+  std::string name = prefix + "_" + std::to_string(counter_++);
+  exist_vars_.push_back(name);
+  return Term::Var(name);
+}
+
+}  // namespace currency::reductions

@@ -1,0 +1,48 @@
+// Lower bound for BCP (Theorem 5.3, Fig. 6): ∃W∀X∃Y∀Z ψ (3DNF) →
+// (specification, query, budget k) such that
+//
+//     the QBF is true  ⟺  some extension of cost ≤ k = |W| is currency
+//                          preserving for Q.
+//
+// Structure (following the proof):
+//   * R_W holds one ⊥-row per W variable; affordable cost-1 imports from
+//     R'_W assign it 0 or 1 (fixed constraints forbid both at once and
+//     keep ⊥ least current).
+//   * R_X / R'_X pin µ_X through adversarial (CPP-side) extensions as in
+//     Fig. 5; R_Y entities realize ∀-completions of µ_Y ... wait: the ∃Y
+//     of the prefix is realized by query-side Cartesian products and ∀Z by
+//     completions?  No — see the mapping table in the file body: X is the
+//     adversary's extension, Y ranges over completions, Z over the query's
+//     R01 joins, and the Rca converter flips ψ to ¬ψ so that "answer
+//     non-empty" means "ψ falsifiable at this (µW, µX, µY)".
+//   * the paper prices ρ_X / ρ_b extensions out of the budget with
+//     (k+1)-bit constants; we attach cost k+1 to those atoms directly
+//     (PreservationOptions::atom_cost), a faithful re-expression of the
+//     same bit-size accounting.
+
+#ifndef CURRENCY_SRC_REDUCTIONS_TO_BCP_H_
+#define CURRENCY_SRC_REDUCTIONS_TO_BCP_H_
+
+#include "src/common/result.h"
+#include "src/core/preservation.h"
+#include "src/core/specification.h"
+#include "src/query/ast.h"
+#include "src/reductions/formulas.h"
+
+namespace currency::reductions {
+
+/// A BCP instance: specification, query, budget and required options.
+struct BcpGadget {
+  core::Specification spec;
+  query::Query query;
+  int k = 0;
+  core::PreservationOptions options;
+};
+
+/// ∃W∀X∃Y∀Z ψ (3DNF; prefix [∃,∀,∃,∀]) → gadget with:
+/// QBF true ⟺ HasBoundedCurrencyPreservingExtension(spec, query, k).
+Result<BcpGadget> SigmaP4ToBcp(const sat::Qbf& qbf);
+
+}  // namespace currency::reductions
+
+#endif  // CURRENCY_SRC_REDUCTIONS_TO_BCP_H_

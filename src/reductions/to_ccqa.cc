@@ -1,0 +1,187 @@
+#include "src/reductions/to_ccqa.h"
+
+#include <string>
+
+#include "src/query/parser.h"
+#include "src/reductions/gates.h"
+
+namespace currency::reductions {
+
+namespace {
+
+using query::Formula;
+using query::FormulaPtr;
+using query::Term;
+
+}  // namespace
+
+Result<CcqaGadget> PiP2ToCcqa(const sat::Qbf& qbf) {
+  RETURN_IF_ERROR(ValidateShape(qbf, {false, true}, /*matrix_is_cnf=*/true));
+  const std::vector<sat::Var>& xs = qbf.prefix[0].vars;
+  const std::vector<sat::Var>& ys = qbf.prefix[1].vars;
+
+  CcqaGadget gadget;
+  // R_X: one entity per ∀ variable, carrying both Boolean values.
+  ASSIGN_OR_RETURN(Schema sx, Schema::Make("RX", {"Ax"}));
+  Relation rx(sx);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    Value eid("x" + std::to_string(i));
+    RETURN_IF_ERROR(rx.AppendValues({eid, Value(1)}).status());
+    RETURN_IF_ERROR(rx.AppendValues({eid, Value(0)}).status());
+  }
+  RETURN_IF_ERROR(
+      gadget.spec.AddInstance(core::TemporalInstance(std::move(rx))));
+  RETURN_IF_ERROR(AddGateRelations(&gadget.spec));
+  // R_b: the certain-answer flag.
+  ASSIGN_OR_RETURN(Schema sb, Schema::Make("Rb", {"A"}));
+  Relation rb(sb);
+  RETURN_IF_ERROR(rb.AppendValues({Value("b"), Value(1)}).status());
+  RETURN_IF_ERROR(
+      gadget.spec.AddInstance(core::TemporalInstance(std::move(rb))));
+
+  // Query: Q(w) := ∃ ... QX ∧ QY ∧ Qψ ∧ Rb(e, w).
+  std::vector<FormulaPtr> atoms;
+  GateCompiler gates(&atoms);
+  std::vector<Term> value_of(qbf.num_vars);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    Term v = gates.Fresh("xv");
+    value_of[xs[i]] = v;
+    atoms.push_back(Formula::Atom(
+        "RX", {Term::Const(Value("x" + std::to_string(i))), v}));
+  }
+  for (sat::Var y : ys) {
+    Term v = gates.Fresh("yv");
+    value_of[y] = v;
+    atoms.push_back(Formula::Atom("R01", {gates.Fresh("e"), v}));
+  }
+  Term psi = gates.Matrix(qbf, value_of);
+  // Rb(e, w) with w = value of ψ, so the answer is {(1)} iff ψ holds.
+  atoms.push_back(Formula::Atom("Rb", {gates.Fresh("e"), psi}));
+
+  gadget.query.name = "Q";
+  gadget.query.head = {psi.var};
+  std::vector<std::string> bound;
+  for (const std::string& v : gates.exist_vars()) {
+    if (v != psi.var) bound.push_back(v);
+  }
+  gadget.query.body = Formula::Exists(std::move(bound),
+                                      Formula::And(std::move(atoms)));
+  gadget.candidate = Tuple({Value(1)});
+  return gadget;
+}
+
+Result<CcqaGadget> Q3SatToCcqaFo(const sat::Qbf& qbf) {
+  if (qbf.prefix.empty() || !qbf.matrix_is_cnf) {
+    return Status::InvalidArgument("Q3SAT reduction expects a prenex CNF");
+  }
+  CcqaGadget gadget;
+  // R_c: the Boolean domain as two rigid singleton entities.
+  ASSIGN_OR_RETURN(Schema sc, Schema::Make("Rc", {"C"}));
+  Relation rc(sc);
+  RETURN_IF_ERROR(rc.AppendValues({Value(1), Value(0)}).status());
+  RETURN_IF_ERROR(rc.AppendValues({Value(2), Value(1)}).status());
+  RETURN_IF_ERROR(
+      gadget.spec.AddInstance(core::TemporalInstance(std::move(rc))));
+  ASSIGN_OR_RETURN(Schema sb, Schema::Make("Rb", {"B"}));
+  Relation rb(sb);
+  RETURN_IF_ERROR(rb.AppendValues({Value(1), Value(1)}).status());
+  RETURN_IF_ERROR(
+      gadget.spec.AddInstance(core::TemporalInstance(std::move(rb))));
+
+  // Matrix as FO over 0/1-valued variables.
+  auto var_name = [](sat::Var v) { return "x" + std::to_string(v); };
+  std::vector<FormulaPtr> clause_formulas;
+  for (const auto& clause : qbf.terms) {
+    std::vector<FormulaPtr> lits;
+    for (sat::Lit lit : clause) {
+      lits.push_back(Formula::Compare(
+          CmpOp::kEq, Term::Var(var_name(sat::LitVar(lit))),
+          Term::Const(Value(sat::LitIsNeg(lit) ? 0 : 1))));
+    }
+    clause_formulas.push_back(lits.size() == 1 ? lits[0]
+                                               : Formula::Or(std::move(lits)));
+  }
+  FormulaPtr body = clause_formulas.size() == 1
+                        ? clause_formulas[0]
+                        : Formula::And(std::move(clause_formulas));
+  // Wrap the prefix inside-out, relativizing each variable to the Boolean
+  // domain: ∃x → ∃x (bool(x) ∧ φ); ∀x → ∀x (¬bool(x) ∨ φ);
+  // bool(x) := ∃e Rc(e, x).
+  auto boolean = [&](const std::string& x) {
+    return Formula::Exists(
+        {"e_" + x}, Formula::Atom("Rc", {Term::Var("e_" + x), Term::Var(x)}));
+  };
+  for (auto block = qbf.prefix.rbegin(); block != qbf.prefix.rend(); ++block) {
+    for (auto v = block->vars.rbegin(); v != block->vars.rend(); ++v) {
+      std::string x = var_name(*v);
+      if (block->exists) {
+        body = Formula::Exists({x}, Formula::And({boolean(x), body}));
+      } else {
+        body = Formula::Forall(
+            {x}, Formula::Or({Formula::Not(boolean(x)), body}));
+      }
+    }
+  }
+  // Conjoin the head binding: Rb(eb, w).
+  FormulaPtr head_atom = Formula::Exists(
+      {"eb"}, Formula::Atom("Rb", {Term::Var("eb"), Term::Var("w")}));
+  gadget.query.name = "Q";
+  gadget.query.head = {"w"};
+  gadget.query.body = Formula::And({body, head_atom});
+  gadget.candidate = Tuple({Value(1)});
+  return gadget;
+}
+
+Result<CcqaGadget> Sat3ToCcqaData(const sat::Qbf& qbf) {
+  RETURN_IF_ERROR(ValidateShape(qbf, {true}, /*matrix_is_cnf=*/true));
+  for (const auto& clause : qbf.terms) {
+    if (clause.size() != 3) {
+      return Status::InvalidArgument(
+          "the fixed-query reduction expects exactly 3 literals per clause");
+    }
+  }
+  CcqaGadget gadget;
+  // R_X: entities x_i with both truth values.
+  ASSIGN_OR_RETURN(Schema sx, Schema::Make("RX", {"Ax"}, "EIDx"));
+  Relation rx(sx);
+  for (sat::Var v = 0; v < qbf.num_vars; ++v) {
+    Value eid("x" + std::to_string(v));
+    RETURN_IF_ERROR(rx.AppendValues({eid, Value(0)}).status());
+    RETURN_IF_ERROR(rx.AppendValues({eid, Value(1)}).status());
+  }
+  RETURN_IF_ERROR(
+      gadget.spec.AddInstance(core::TemporalInstance(std::move(rx))));
+  // R¬ψ: per clause and literal position, the falsifying value.
+  ASSIGN_OR_RETURN(Schema sn,
+                   Schema::Make("Rnpsi", {"idC", "Px", "EIDx", "Bx", "w"}));
+  Relation rn(sn);
+  int uid = 0;
+  for (size_t j = 0; j < qbf.terms.size(); ++j) {
+    for (size_t i = 0; i < 3; ++i) {
+      sat::Lit lit = qbf.terms[j][i];
+      RETURN_IF_ERROR(
+          rn.AppendValues({Value("n" + std::to_string(uid++)),
+                           Value(static_cast<int64_t>(j)),
+                           Value(static_cast<int64_t>(i + 1)),
+                           Value("x" + std::to_string(sat::LitVar(lit))),
+                           Value(sat::LitIsNeg(lit) ? 1 : 0), Value(1)})
+              .status());
+    }
+  }
+  RETURN_IF_ERROR(
+      gadget.spec.AddInstance(core::TemporalInstance(std::move(rn))));
+
+  // The FIXED query: some clause has all three literals falsified by the
+  // current assignment.
+  auto parsed = query::ParseQuery(
+      "Q(w) := EXISTS j, x1, x2, x3, v1, v2, v3, e1, e2, e3: "
+      "RX(x1, v1) AND RX(x2, v2) AND RX(x3, v3) AND "
+      "Rnpsi(e1, j, 1, x1, v1, w) AND Rnpsi(e2, j, 2, x2, v2, w) AND "
+      "Rnpsi(e3, j, 3, x3, v3, w)");
+  RETURN_IF_ERROR(parsed.status());
+  gadget.query = std::move(parsed).value();
+  gadget.candidate = Tuple({Value(1)});
+  return gadget;
+}
+
+}  // namespace currency::reductions

@@ -1,0 +1,43 @@
+// The three lower-bound reductions to CCQA of Theorem 3.5.
+//
+// * PiP2ToCcqa (Fig. 2): ∀∗∃∗3CNF → CCQA(CQ), Πp2-hardness of the combined
+//   complexity.  Entities of R_X carry both truth values of each X
+//   variable (completions choose µ_X); the query generates µ_Y by joining
+//   the Boolean gadget R_01 and evaluates ψ with the ∨/∧/¬ gate relations.
+// * Q3SatToCcqaFo: Q3SAT → CCQA(FO), PSPACE-hardness.  The specification
+//   is rigid (singleton entities); the full quantifier alternation lives
+//   in the FO query.  Quantifiers are relativized to the Boolean domain
+//   through R_c (the paper's sketch leaves the relativization implicit).
+// * Sat3ToCcqaData: 3SAT → CCQA, coNP-hardness of the data complexity
+//   with a FIXED query: ψ is unsatisfiable iff (1) is a certain answer.
+
+#ifndef CURRENCY_SRC_REDUCTIONS_TO_CCQA_H_
+#define CURRENCY_SRC_REDUCTIONS_TO_CCQA_H_
+
+#include "src/common/result.h"
+#include "src/core/specification.h"
+#include "src/query/ast.h"
+#include "src/reductions/formulas.h"
+
+namespace currency::reductions {
+
+/// A CCQA instance: specification, query, candidate tuple.
+struct CcqaGadget {
+  core::Specification spec;
+  query::Query query;
+  Tuple candidate;
+};
+
+/// ∀X∃Y ψ (3CNF) → gadget with:  QBF true ⟺ candidate certain.
+Result<CcqaGadget> PiP2ToCcqa(const sat::Qbf& qbf);
+
+/// Arbitrary prenex 3CNF QBF → FO gadget: QBF true ⟺ candidate certain.
+Result<CcqaGadget> Q3SatToCcqaFo(const sat::Qbf& qbf);
+
+/// ψ (3CNF, exact 3-literal clauses) → gadget with a fixed query:
+/// ψ unsatisfiable ⟺ candidate certain.
+Result<CcqaGadget> Sat3ToCcqaData(const sat::Qbf& qbf);
+
+}  // namespace currency::reductions
+
+#endif  // CURRENCY_SRC_REDUCTIONS_TO_CCQA_H_

@@ -1,0 +1,72 @@
+#include "src/reductions/to_cop.h"
+
+namespace currency::reductions {
+
+Result<CopGadget> Sat3ToCopDcip(const sat::Qbf& qbf) {
+  RETURN_IF_ERROR(ValidateShape(qbf, {true}, /*matrix_is_cnf=*/true));
+
+  ASSIGN_OR_RETURN(Schema schema, Schema::Make("RC", {"C", "L", "S", "V"}));
+  Relation rel(schema);
+  const Value eid("e");
+  const Value hash("#");
+  for (size_t j = 0; j < qbf.terms.size(); ++j) {
+    const auto& clause = qbf.terms[j];
+    for (size_t i = 0; i < clause.size(); ++i) {
+      sat::Lit lit = clause[i];
+      RETURN_IF_ERROR(
+          rel.AppendValues(
+                 {eid, Value(static_cast<int64_t>(j)),
+                  Value(static_cast<int64_t>(i + 1)),
+                  Value(sat::LitIsNeg(lit) ? "-" : "+"),
+                  Value("x" + std::to_string(sat::LitVar(lit)))})
+              .status());
+    }
+    // Pad clauses with fewer than three literals by repeating the last
+    // one at the remaining positions (harmless: same polarity/variable).
+    for (size_t i = clause.size(); i < 3; ++i) {
+      sat::Lit lit = clause.back();
+      RETURN_IF_ERROR(
+          rel.AppendValues(
+                 {eid, Value(static_cast<int64_t>(j)),
+                  Value(static_cast<int64_t>(i + 1)),
+                  Value(sat::LitIsNeg(lit) ? "-" : "+"),
+                  Value("x" + std::to_string(sat::LitVar(lit)))})
+              .status());
+    }
+  }
+  const TupleId hash_id = rel.size();
+  RETURN_IF_ERROR(rel.AppendValues({eid, hash, hash, hash, hash}).status());
+  const int num_rows = rel.size();
+
+  CopGadget gadget;
+  RETURN_IF_ERROR(
+      gadget.spec.AddInstance(core::TemporalInstance(std::move(rel))));
+  // (a) C-currency propagates to L, S and V.
+  for (const char* attr : {"L", "S", "V"}) {
+    RETURN_IF_ERROR(gadget.spec.AddConstraintText(
+        std::string("FORALL t1, t2 IN RC: t1 PREC[C] t2 -> t1 PREC[") + attr +
+        "] t2"));
+  }
+  // (b) if any row beats t#, no clause may be fully below t#.
+  RETURN_IF_ERROR(gadget.spec.AddConstraintText(
+      "FORALL t, u1, u2, u3, s IN RC: s.C = '#' AND s PREC[C] t AND "
+      "u1.C = u2.C AND u2.C = u3.C AND u1.C != '#' AND "
+      "u1.L = 1 AND u2.L = 2 AND u3.L = 3 AND "
+      "u1 PREC[C] s AND u2 PREC[C] s AND u3 PREC[C] s -> t PREC[C] t"));
+  // (c) both polarities of a variable may not sit above t#.
+  RETURN_IF_ERROR(gadget.spec.AddConstraintText(
+      "FORALL t1, t2, s IN RC: s.C = '#' AND s PREC[C] t1 AND "
+      "s PREC[C] t2 AND t1.V = t2.V AND t1.S != t2.S -> t1 PREC[C] t1"));
+
+  // Ot: t# above every other row, in all four attributes.
+  gadget.order.relation = "RC";
+  for (AttrIndex a = 1; a <= 4; ++a) {
+    for (TupleId t = 0; t < num_rows; ++t) {
+      if (t == hash_id) continue;
+      gadget.order.pairs.push_back({a, t, hash_id});
+    }
+  }
+  return gadget;
+}
+
+}  // namespace currency::reductions

@@ -1,0 +1,35 @@
+// Data-complexity lower bound for COP and DCIP (Theorem 3.4): 3SAT →
+// (specification, currency order Ot) with a FIXED schema and FIXED denial
+// constraints such that
+//   ψ is unsatisfiable  ⟺  Ot ("t# is most current") is certain
+//                        ⟺  S is deterministic for current R_C instances.
+//
+// The constraint set realizes the proof's conditions (a)-(c) concretely:
+//   (a) currency in attribute C propagates to all other attributes,
+//   (b) if anything beats t#, every clause contributes a row above t#,
+//   (c) no variable occurs above t# with both polarities.
+// A completion therefore either leaves t# on top, or encodes a satisfying
+// assignment of ψ by the rows it lifts above t#.
+
+#ifndef CURRENCY_SRC_REDUCTIONS_TO_COP_H_
+#define CURRENCY_SRC_REDUCTIONS_TO_COP_H_
+
+#include "src/common/result.h"
+#include "src/core/certain_order.h"
+#include "src/core/specification.h"
+#include "src/reductions/formulas.h"
+
+namespace currency::reductions {
+
+/// Output of the reduction: the specification plus the currency order Ot.
+struct CopGadget {
+  core::Specification spec;
+  core::CurrencyOrderQuery order;  ///< "every row is below t#"
+};
+
+/// ψ in 3CNF (single ∃ block, CNF matrix) → CopGadget.
+Result<CopGadget> Sat3ToCopDcip(const sat::Qbf& qbf);
+
+}  // namespace currency::reductions
+
+#endif  // CURRENCY_SRC_REDUCTIONS_TO_COP_H_

@@ -1,0 +1,51 @@
+// Data-complexity lower bound for CPP (Theorem 5.1(3), Fig. 5):
+// ∀∗∃∗3CNF → (specification with empty copy functions ρ1, ρ2, fixed
+// Boolean query) such that
+//
+//     ∀X∃Y ψ is true  ⟺  ρ is currency preserving for Q.
+//
+// Extensions of ρ1 pin truth values of X variables by mapping the
+// existing R_XY rows to rows of the ordered source R'_X; extensions of
+// ρ2 pin Rb's current value to 'c'.  The fixed query detects a falsified
+// clause (via the R_C encoding of ¬Cj) combined with a current 'c' — so
+// the certain answer flips from ∅ to {()} exactly when an adversarial
+// extension can freeze a µ_X that defeats every µ_Y.
+
+#ifndef CURRENCY_SRC_REDUCTIONS_TO_CPP_H_
+#define CURRENCY_SRC_REDUCTIONS_TO_CPP_H_
+
+#include "src/common/result.h"
+#include "src/core/preservation.h"
+#include "src/core/specification.h"
+#include "src/query/ast.h"
+#include "src/reductions/formulas.h"
+
+namespace currency::reductions {
+
+/// A CPP instance: specification, query, and the solver options the
+/// gadget requires (duplicate-import exclusion mirroring the paper's
+/// "two tuples per entity" constraints, and a widened atom budget).
+struct CppGadget {
+  core::Specification spec;
+  query::Query query;
+  core::PreservationOptions options;
+};
+
+/// ∀X∃Y ψ (3CNF; prefix [∀, ∃]) → gadget with: QBF true ⟺ ρ preserving.
+Result<CppGadget> PiP2ToCppData(const sat::Qbf& qbf);
+
+/// Combined-complexity lower bound (Theorem 5.1(1), Fig. 4):
+/// ∃X∀Y∃Z ψ (3CNF; prefix [∃, ∀, ∃]) → gadget with
+///
+///     QBF true  ⟺  ρ is NOT currency preserving for Q.
+///
+/// Structure: µ_X is pinned by adversarial extensions of ρ1 (the ordered
+/// I'_X source entities of Fig. 4), µ_Y ranges over completions of R_Y,
+/// µ_Z over the query's R01 Cartesian products; the Boolean gates compute
+/// ψ and I_ac converts value 1 to 'c' (so "answer non-empty" means "ψ
+/// satisfiable at this (µX, µY)"), gated by the Rb/R'b 'c'/'d' flag pair.
+Result<CppGadget> PiP3ToCpp(const sat::Qbf& qbf);
+
+}  // namespace currency::reductions
+
+#endif  // CURRENCY_SRC_REDUCTIONS_TO_CPP_H_

@@ -1,0 +1,207 @@
+#include "src/reductions/to_cps.h"
+
+#include <string>
+
+#include "src/constraints/parser.h"
+
+namespace currency::reductions {
+
+namespace {
+
+using constraints::ComparePredicate;
+using constraints::DenialConstraint;
+using constraints::Operand;
+using constraints::OrderAtom;
+
+}  // namespace
+
+Result<core::Specification> SigmaP2ToCps(const sat::Qbf& qbf) {
+  RETURN_IF_ERROR(ValidateShape(qbf, {true, false}, /*matrix_is_cnf=*/false));
+  const std::vector<sat::Var>& xs = qbf.prefix[0].vars;
+  const std::vector<sat::Var>& ys = qbf.prefix[1].vars;
+  const int m = static_cast<int>(xs.size());
+  const int n = static_cast<int>(ys.size());
+  const int r = static_cast<int>(qbf.terms.size());
+
+  // Position of each QBF variable: X index or Y index.
+  std::vector<int> x_index(qbf.num_vars, -1), y_index(qbf.num_vars, -1);
+  for (int i = 0; i < m; ++i) x_index[xs[i]] = i;
+  for (int j = 0; j < n; ++j) y_index[ys[j]] = j;
+
+  ASSIGN_OR_RETURN(Schema schema,
+                   Schema::Make("RV", {"V", "v", "A1", "A2", "A3", "B"}));
+  Relation rel(schema);
+  const Value eid("e");
+  const Value hash("#");
+  // I_X: per X variable, tuples (x_i, 1) and (x_i, 0); ids 2i, 2i+1.
+  for (int i = 0; i < m; ++i) {
+    Value name("x" + std::to_string(i));
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, name, Value(1), hash, hash, hash, hash})
+            .status());
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, name, Value(0), hash, hash, hash, hash})
+            .status());
+  }
+  // I_Y: per Y variable, tuples (y_j, 1) and (y_j, 0); ids 2m+2j, 2m+2j+1.
+  for (int j = 0; j < n; ++j) {
+    Value name("y" + std::to_string(j));
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, name, Value(1), hash, hash, hash, hash})
+            .status());
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, name, Value(0), hash, hash, hash, hash})
+            .status());
+  }
+  // I_∨: the 8 disjunction rows; ids 2m+2n .. 2m+2n+7.
+  const int or_base = 2 * m + 2 * n;
+  for (int bits = 0; bits < 8; ++bits) {
+    int a1 = bits & 1, a2 = (bits >> 1) & 1, a3 = (bits >> 2) & 1;
+    RETURN_IF_ERROR(rel.AppendValues({eid, hash, hash, Value(a1), Value(a2),
+                                      Value(a3),
+                                      Value((a1 | a2 | a3) ? 1 : 0)})
+                        .status());
+  }
+
+  core::TemporalInstance inst(std::move(rel));
+  ASSIGN_OR_RETURN(AttrIndex attr_v_cap, schema.IndexOf("V"));
+  ASSIGN_OR_RETURN(AttrIndex attr_v, schema.IndexOf("v"));
+  // Initial currency order ≺_V (the proof's items (a)-(d)):
+  auto var_tuples = [&](int index) {
+    return std::array<TupleId, 2>{2 * index, 2 * index + 1};
+  };
+  // (a) x_i tuples below x_j tuples for i < j; (b) same for Y;
+  // (c) all X tuples below all Y tuples; (d) I_∨ rows below all X/Y rows.
+  for (int i = 0; i < m + n; ++i) {
+    for (int j = i + 1; j < m + n; ++j) {
+      for (TupleId u : var_tuples(i)) {
+        for (TupleId v : var_tuples(j)) {
+          RETURN_IF_ERROR(inst.AddOrder(attr_v_cap, u, v));
+        }
+      }
+    }
+  }
+  for (int g = 0; g < 8; ++g) {
+    for (int i = 0; i < 2 * (m + n); ++i) {
+      RETURN_IF_ERROR(inst.AddOrder(attr_v_cap, or_base + g, i));
+    }
+  }
+
+  // The denial constraint φ.  Tuple variables: t_i = 2i, t'_i = 2i+1 for
+  // i < m; s_j = 2m + j; c_l = 2m + n + l.
+  const int num_vars = 2 * m + n + r;
+  auto tv = [&](int i) { return 2 * i; };
+  auto tpv = [&](int i) { return 2 * i + 1; };
+  auto sv = [&](int j) { return 2 * m + j; };
+  auto cv = [&](int l) { return 2 * m + n + l; };
+  std::vector<ComparePredicate> compares;
+  std::vector<OrderAtom> premises;
+  ASSIGN_OR_RETURN(AttrIndex attr_b, schema.IndexOf("B"));
+  std::array<AttrIndex, 3> attr_a;
+  for (int p = 0; p < 3; ++p) {
+    ASSIGN_OR_RETURN(attr_a[p],
+                     schema.IndexOf("A" + std::to_string(p + 1)));
+  }
+  // ξ_i: t_i[V] = t'_i[V] = "x_i" and t'_i ≺_v t_i.
+  for (int i = 0; i < m; ++i) {
+    Value name("x" + std::to_string(i));
+    compares.push_back({CmpOp::kEq, Operand::Attr(tv(i), attr_v_cap),
+                        Operand::Const(name)});
+    compares.push_back({CmpOp::kEq, Operand::Attr(tpv(i), attr_v_cap),
+                        Operand::Const(name)});
+    premises.push_back(OrderAtom{tpv(i), tv(i), attr_v});
+  }
+  // χ_j: s_j[V] = "y_j".
+  for (int j = 0; j < n; ++j) {
+    compares.push_back({CmpOp::kEq, Operand::Attr(sv(j), attr_v_cap),
+                        Operand::Const(Value("y" + std::to_string(j)))});
+  }
+  // ω_l: c_l[B] = 1 plus, per literal, c_l[A_p] (≠ | =) the truth value of
+  // the literal's variable.
+  for (int l = 0; l < r; ++l) {
+    compares.push_back({CmpOp::kEq, Operand::Attr(cv(l), attr_b),
+                        Operand::Const(Value(1))});
+    const auto& cube = qbf.terms[l];
+    for (size_t p = 0; p < cube.size(); ++p) {
+      sat::Lit lit = cube[p];
+      sat::Var var = sat::LitVar(lit);
+      Operand truth = x_index[var] >= 0
+                          ? Operand::Attr(tv(x_index[var]), attr_v)
+                          : Operand::Attr(sv(y_index[var]), attr_v);
+      if (x_index[var] < 0 && y_index[var] < 0) {
+        return Status::InvalidArgument("matrix variable not quantified");
+      }
+      // Positive literal x: c_l[A_p] ≠ val(x); negative: c_l[A_p] = val(x).
+      compares.push_back(
+          {sat::LitIsNeg(lit) ? CmpOp::kEq : CmpOp::kNe,
+           Operand::Attr(cv(l), attr_a[p]), truth});
+    }
+  }
+  OrderAtom conclusion{tv(0), tv(0), attr_v_cap};  // t1 ≺_V t1: pure denial
+  ASSIGN_OR_RETURN(DenialConstraint phi,
+                   DenialConstraint::Make(schema, num_vars,
+                                          std::move(compares),
+                                          std::move(premises), conclusion));
+  core::Specification spec;
+  RETURN_IF_ERROR(spec.AddInstance(std::move(inst)));
+  RETURN_IF_ERROR(spec.AddConstraint(std::move(phi)));
+  return spec;
+}
+
+Result<core::Specification> BetweennessToCps(const BetweennessInstance& inst) {
+  ASSIGN_OR_RETURN(Schema schema, Schema::Make("RB", {"TID", "A", "P", "O"}));
+  Relation rel(schema);
+  const Value eid("e");
+  const Value hash("#");
+  for (size_t t = 0; t < inst.triples.size(); ++t) {
+    const auto& [a, b, c] = inst.triples[t];
+    Value tid(static_cast<int64_t>(t));
+    // Ascending reading a < b < c (O = 1) ...
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, tid, Value(a), Value(1), Value(1)}).status());
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, tid, Value(b), Value(2), Value(1)}).status());
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, tid, Value(c), Value(3), Value(1)}).status());
+    // ... and descending reading c < b < a (O = 2).
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, tid, Value(a), Value(3), Value(2)}).status());
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, tid, Value(b), Value(2), Value(2)}).status());
+    RETURN_IF_ERROR(
+        rel.AppendValues({eid, tid, Value(c), Value(1), Value(2)}).status());
+  }
+  // Separator t#.
+  RETURN_IF_ERROR(rel.AppendValues({eid, hash, hash, hash, hash}).status());
+
+  core::Specification spec;
+  RETURN_IF_ERROR(
+      spec.AddInstance(core::TemporalInstance(std::move(rel))));
+  // σ1: a triple-reading may not straddle the separator.
+  RETURN_IF_ERROR(spec.AddConstraintText(
+      "FORALL t1, t2, s IN RB: t1.TID = t2.TID AND t1.O = t2.O AND "
+      "s.A = '#' AND t1 PREC[A] s AND s PREC[A] t2 -> t1 PREC[A] t1"));
+  // σ2/σ3: the two readings of one triple may not sit on the same side.
+  RETURN_IF_ERROR(spec.AddConstraintText(
+      "FORALL t1, t2, s IN RB: t1.TID = t2.TID AND t1.O != t2.O AND "
+      "t1.TID != '#' AND s.A = '#' AND s PREC[A] t1 AND s PREC[A] t2 "
+      "-> t1 PREC[A] t1"));
+  RETURN_IF_ERROR(spec.AddConstraintText(
+      "FORALL t1, t2, s IN RB: t1.TID = t2.TID AND t1.O != t2.O AND "
+      "t1.TID != '#' AND s.A = '#' AND t1 PREC[A] s AND t2 PREC[A] s "
+      "-> t1 PREC[A] t1"));
+  // σ4: above the separator, a reading's rows appear in position order.
+  RETURN_IF_ERROR(spec.AddConstraintText(
+      "FORALL t1, t2, s IN RB: t1.TID = t2.TID AND t1.O = t2.O AND "
+      "t1.P < t2.P AND s.A = '#' AND s PREC[A] t1 AND s PREC[A] t2 "
+      "-> t1 PREC[A] t2"));
+  // σ5: above the separator, equal elements form consecutive blocks (no
+  // foreign row strictly between two rows of one element).
+  RETURN_IF_ERROR(spec.AddConstraintText(
+      "FORALL u, w, z, s IN RB: u.A = w.A AND u.A != z.A AND z.A != '#' AND "
+      "s.A = '#' AND s PREC[A] u AND s PREC[A] w AND s PREC[A] z AND "
+      "u PREC[A] z AND z PREC[A] w -> u PREC[A] u"));
+  return spec;
+}
+
+}  // namespace currency::reductions

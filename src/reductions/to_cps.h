@@ -1,0 +1,35 @@
+// The two lower-bound reductions to CPS of Theorem 3.1.
+//
+// * SigmaP2ToCps: ∃∗∀∗3DNF → CPS (combined complexity, Σp2-hardness).
+//   Builds the single-relation specification R_V(EID, V, v, A1, A2, A3, B)
+//   of the proof — tuple pairs encoding truth values of X and Y variables,
+//   an 8-row disjunction gadget I_∨, an initial chain order on attribute V
+//   and ONE denial constraint φ with 2m+n+r tuple variables.  The formula
+//   is true iff Mod(S) ≠ ∅.
+//
+// * BetweennessToCps: Betweenness → CPS (data complexity, NP-hardness).
+//   Fixed schema R(EID, TID, A, P, O), six rows per triple plus the
+//   separator row t#, and the five FIXED denial constraints σ1–σ5 (the
+//   paper sketches σ2–σ5; they are written out concretely here).  The
+//   instance is solvable iff Mod(S) ≠ ∅.
+
+#ifndef CURRENCY_SRC_REDUCTIONS_TO_CPS_H_
+#define CURRENCY_SRC_REDUCTIONS_TO_CPS_H_
+
+#include "src/common/result.h"
+#include "src/core/specification.h"
+#include "src/reductions/formulas.h"
+
+namespace currency::reductions {
+
+/// ∃X∀Y ψ with ψ in 3DNF (prefix blocks [∃, ∀], DNF matrix) → S such that
+/// ψ's QBF is true iff Mod(S) ≠ ∅.
+Result<core::Specification> SigmaP2ToCps(const sat::Qbf& qbf);
+
+/// Betweenness instance → S (fixed schema, fixed constraints) such that
+/// the instance is solvable iff Mod(S) ≠ ∅.
+Result<core::Specification> BetweennessToCps(const BetweennessInstance& inst);
+
+}  // namespace currency::reductions
+
+#endif  // CURRENCY_SRC_REDUCTIONS_TO_CPS_H_

@@ -1,0 +1,85 @@
+#include "src/relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace currency {
+
+Result<TupleId> Relation::Append(Tuple tuple) {
+  if (tuple.arity() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.arity()) +
+        " does not match schema " + schema_.ToString());
+  }
+  tuples_.push_back(std::move(tuple));
+  return static_cast<TupleId>(tuples_.size() - 1);
+}
+
+std::vector<Value> Relation::Entities() const {
+  std::set<Value> seen;
+  for (const Tuple& t : tuples_) seen.insert(t.eid());
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+std::map<Value, std::vector<TupleId>> Relation::EntityGroups() const {
+  std::map<Value, std::vector<TupleId>> groups;
+  for (TupleId id = 0; id < size(); ++id) {
+    groups[tuples_[id].eid()].push_back(id);
+  }
+  return groups;
+}
+
+std::vector<TupleId> Relation::TuplesOf(const Value& eid) const {
+  std::vector<TupleId> out;
+  for (TupleId id = 0; id < size(); ++id) {
+    if (tuples_[id].eid() == eid) out.push_back(id);
+  }
+  return out;
+}
+
+std::set<Value> Relation::ActiveDomain() const {
+  std::set<Value> out;
+  for (const Tuple& t : tuples_) {
+    for (const Value& v : t.values()) out.insert(v);
+  }
+  return out;
+}
+
+bool Relation::ContainsValue(const Tuple& t) const {
+  return std::find(tuples_.begin(), tuples_.end(), t) != tuples_.end();
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream os;
+  os << schema_.ToString() << "\n";
+  // Compute column widths for alignment.
+  std::vector<size_t> width(schema_.arity());
+  for (int i = 0; i < schema_.arity(); ++i) {
+    width[i] = schema_.attribute_name(i).size();
+  }
+  for (const Tuple& t : tuples_) {
+    for (int i = 0; i < t.arity(); ++i) {
+      width[i] = std::max(width[i], t.at(i).ToString().size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "  ";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      os << std::string(width[i] - cells[i].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit_row(schema_.attribute_names());
+  for (TupleId id = 0; id < size(); ++id) {
+    std::vector<std::string> cells;
+    cells.reserve(schema_.arity());
+    for (int i = 0; i < schema_.arity(); ++i) {
+      cells.push_back(tuples_[id].at(i).ToString());
+    }
+    emit_row(cells);
+  }
+  return os.str();
+}
+
+}  // namespace currency

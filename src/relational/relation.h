@@ -1,0 +1,72 @@
+// Relation: a normal instance D of a schema R (Section 2 of the paper) —
+// a finite bag-free set of tuples, stored with stable integer ids so that
+// partial currency orders can refer to tuples positionally.
+
+#ifndef CURRENCY_SRC_RELATIONAL_RELATION_H_
+#define CURRENCY_SRC_RELATIONAL_RELATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relational/schema.h"
+#include "src/relational/tuple.h"
+
+namespace currency {
+
+/// Stable index of a tuple within a Relation.
+using TupleId = int;
+
+/// A normal instance of a schema: an ordered container of tuples with
+/// stable TupleIds.  Duplicate tuples are allowed (the paper's instances
+/// distinguish tuples by identity, not value — e.g. t1 and t2 in Fig. 1
+/// have identical non-EID attributes in some gadgets).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a tuple; fails if the arity does not match the schema.
+  /// Returns the new tuple's id.
+  Result<TupleId> Append(Tuple tuple);
+
+  /// Appends a tuple built from values (EID first).
+  Result<TupleId> AppendValues(std::vector<Value> values) {
+    return Append(Tuple(std::move(values)));
+  }
+
+  int size() const { return static_cast<int>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(TupleId id) const { return tuples_[id]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Distinct entity ids appearing in the instance, in Value order.
+  std::vector<Value> Entities() const;
+
+  /// Tuple ids grouped by entity: eid -> sorted tuple ids.
+  std::map<Value, std::vector<TupleId>> EntityGroups() const;
+
+  /// Tuple ids pertaining to `eid` (empty if the entity is absent).
+  std::vector<TupleId> TuplesOf(const Value& eid) const;
+
+  /// All constants occurring in the instance (the active domain).
+  std::set<Value> ActiveDomain() const;
+
+  /// True iff some tuple equals `t` (by value).
+  bool ContainsValue(const Tuple& t) const;
+
+  /// Pretty table rendering for examples and debugging.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_RELATIONAL_RELATION_H_

@@ -1,0 +1,24 @@
+#include "src/relational/tuple.h"
+
+namespace currency {
+
+bool Tuple::operator<(const Tuple& other) const {
+  int n = std::min(arity(), other.arity());
+  for (int i = 0; i < n; ++i) {
+    if (values_[i] < other.values_[i]) return true;
+    if (other.values_[i] < values_[i]) return false;
+  }
+  return arity() < other.arity();
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace currency

@@ -1,0 +1,41 @@
+// Tuple: a row of Values conforming to some Schema (EID in position 0).
+
+#ifndef CURRENCY_SRC_RELATIONAL_TUPLE_H_
+#define CURRENCY_SRC_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace currency {
+
+/// A row of dynamically typed values.  Position 0 is the entity id.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  int arity() const { return static_cast<int>(values_.size()); }
+  const Value& at(int i) const { return values_[i]; }
+  Value& at(int i) { return values_[i]; }
+  const Value& eid() const { return values_[0]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  /// Lexicographic order on values (total, for deterministic output).
+  bool operator<(const Tuple& other) const;
+
+  /// "(v0, v1, ..., vn)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace currency
+
+#endif  // CURRENCY_SRC_RELATIONAL_TUPLE_H_

@@ -1,0 +1,11 @@
+#include "src/sat/clause.h"
+
+namespace currency::sat {
+
+std::string LitToString(Lit l) {
+  std::string out = LitIsNeg(l) ? "~x" : "x";
+  out += std::to_string(LitVar(l));
+  return out;
+}
+
+}  // namespace currency::sat

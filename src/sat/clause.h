@@ -1,0 +1,47 @@
+// Literal / clause representation for the CDCL solver (MiniSat encoding).
+//
+// The paper's upper-bound algorithms are "guess a completion, check it in
+// P" (Theorems 3.1, 3.4, 3.5).  We realize the guessing NP oracle with a
+// propositional SAT solver over an order-literal encoding (src/core/
+// encoder.h); this header is the shared vocabulary.
+
+#ifndef CURRENCY_SRC_SAT_CLAUSE_H_
+#define CURRENCY_SRC_SAT_CLAUSE_H_
+
+#include <string>
+#include <vector>
+
+namespace currency::sat {
+
+/// A propositional variable, numbered from 0.
+using Var = int;
+
+/// A literal: 2*v for "v", 2*v+1 for "¬v".
+using Lit = int;
+
+constexpr Lit kLitUndef = -1;
+
+/// Builds the literal for variable `v`, negated iff `negated`.
+inline Lit MakeLit(Var v, bool negated = false) {
+  return 2 * v + (negated ? 1 : 0);
+}
+/// The variable underlying `l`.
+inline Var LitVar(Lit l) { return l >> 1; }
+/// True iff `l` is a negative literal.
+inline bool LitIsNeg(Lit l) { return l & 1; }
+/// The complement of `l`.
+inline Lit Negate(Lit l) { return l ^ 1; }
+
+/// Renders a literal as "x3" / "~x3".
+std::string LitToString(Lit l);
+
+/// A disjunction of literals.
+struct Clause {
+  std::vector<Lit> lits;
+  bool learnt = false;
+  double activity = 0.0;
+};
+
+}  // namespace currency::sat
+
+#endif  // CURRENCY_SRC_SAT_CLAUSE_H_

@@ -1,0 +1,32 @@
+#include "src/sat/model_enumerator.h"
+
+namespace currency::sat {
+
+Result<int64_t> EnumerateProjectedModels(
+    Solver* solver, const std::vector<Var>& projection, int64_t max_models,
+    const std::function<bool(const std::vector<bool>&)>& visit) {
+  int64_t found = 0;
+  std::vector<bool> values(projection.size());
+  while (solver->Solve() == SolveResult::kSat) {
+    if (found >= max_models) {
+      return Status::ResourceExhausted(
+          "model enumeration exceeded " + std::to_string(max_models) +
+          " projected models");
+    }
+    for (size_t i = 0; i < projection.size(); ++i) {
+      values[i] = solver->ModelValue(projection[i]);
+    }
+    ++found;
+    if (!visit(values)) return found;
+    // Block this projected assignment.
+    std::vector<Lit> block;
+    block.reserve(projection.size());
+    for (size_t i = 0; i < projection.size(); ++i) {
+      block.push_back(MakeLit(projection[i], values[i]));
+    }
+    if (!solver->AddClause(std::move(block))) break;  // no models remain
+  }
+  return found;
+}
+
+}  // namespace currency::sat

@@ -1,0 +1,35 @@
+// Model enumeration with projection: enumerate all assignments to a chosen
+// subset of variables that extend to a model, blocking each one found.
+//
+// CCQA (Theorem 3.5) needs the set of *distinct current instances* over all
+// consistent completions; projecting models onto the "is-last" selector
+// variables makes the enumeration proportional to that set rather than to
+// the (factorially larger) set of completions.
+
+#ifndef CURRENCY_SRC_SAT_MODEL_ENUMERATOR_H_
+#define CURRENCY_SRC_SAT_MODEL_ENUMERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sat/solver.h"
+
+namespace currency::sat {
+
+/// Enumerates assignments to `projection` that extend to models of `solver`.
+///
+/// Calls `visit` once per distinct projected assignment (a vector of bools
+/// parallel to `projection`); enumeration stops early if `visit` returns
+/// false.  `max_models` bounds the enumeration; exceeding it returns
+/// ResourceExhausted.  Returns the number of projected models visited.
+///
+/// The solver is mutated (blocking clauses are added); callers that need
+/// the original formula afterwards should enumerate on a copy.
+Result<int64_t> EnumerateProjectedModels(
+    Solver* solver, const std::vector<Var>& projection, int64_t max_models,
+    const std::function<bool(const std::vector<bool>&)>& visit);
+
+}  // namespace currency::sat
+
+#endif  // CURRENCY_SRC_SAT_MODEL_ENUMERATOR_H_

@@ -1,0 +1,135 @@
+#include "src/sat/qbf.h"
+
+#include <sstream>
+
+namespace currency::sat {
+
+std::string Qbf::ToString() const {
+  std::ostringstream os;
+  for (const QuantBlock& b : prefix) {
+    os << (b.exists ? "∃{" : "∀{");
+    for (size_t i = 0; i < b.vars.size(); ++i) {
+      if (i) os << ",";
+      os << b.vars[i];
+    }
+    os << "}";
+  }
+  os << (matrix_is_cnf ? " CNF[" : " DNF[");
+  for (const auto& term : terms) {
+    os << "(";
+    for (size_t i = 0; i < term.size(); ++i) {
+      if (i) os << (matrix_is_cnf ? "|" : "&");
+      os << LitToString(term[i]);
+    }
+    os << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+bool EvaluateMatrix(const Qbf& qbf, const std::vector<bool>& assignment) {
+  auto lit_true = [&](Lit l) {
+    bool v = assignment[LitVar(l)];
+    return LitIsNeg(l) ? !v : v;
+  };
+  if (qbf.matrix_is_cnf) {
+    for (const auto& clause : qbf.terms) {
+      bool sat = false;
+      for (Lit l : clause) {
+        if (lit_true(l)) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) return false;
+    }
+    return true;
+  }
+  for (const auto& cube : qbf.terms) {
+    bool sat = true;
+    for (Lit l : cube) {
+      if (!lit_true(l)) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool EvaluateRec(const Qbf& qbf, const std::vector<Var>& order,
+                 const std::vector<bool>& exists, size_t index,
+                 std::vector<bool>* assignment) {
+  if (index == order.size()) return EvaluateMatrix(qbf, *assignment);
+  Var v = order[index];
+  (*assignment)[v] = false;
+  bool r0 = EvaluateRec(qbf, order, exists, index + 1, assignment);
+  if (exists[index] && r0) return true;
+  if (!exists[index] && !r0) return false;
+  (*assignment)[v] = true;
+  return EvaluateRec(qbf, order, exists, index + 1, assignment);
+}
+
+}  // namespace
+
+Result<bool> EvaluateQbf(const Qbf& qbf, int max_vars) {
+  if (qbf.num_vars > max_vars) {
+    return Status::ResourceExhausted(
+        "QBF oracle limited to " + std::to_string(max_vars) + " variables (" +
+        std::to_string(qbf.num_vars) + " requested)");
+  }
+  std::vector<Var> order;
+  std::vector<bool> exists;
+  std::vector<bool> mentioned(qbf.num_vars, false);
+  for (const QuantBlock& b : qbf.prefix) {
+    for (Var v : b.vars) {
+      if (v < 0 || v >= qbf.num_vars) {
+        return Status::InvalidArgument("prefix variable out of range");
+      }
+      if (mentioned[v]) {
+        return Status::InvalidArgument("variable quantified twice");
+      }
+      mentioned[v] = true;
+      order.push_back(v);
+      exists.push_back(b.exists);
+    }
+  }
+  // Unmentioned variables are innermost existentials.
+  for (Var v = 0; v < qbf.num_vars; ++v) {
+    if (!mentioned[v]) {
+      order.push_back(v);
+      exists.push_back(true);
+    }
+  }
+  std::vector<bool> assignment(qbf.num_vars, false);
+  return EvaluateRec(qbf, order, exists, 0, &assignment);
+}
+
+Qbf RandomQbf(const std::vector<int>& block_sizes, bool first_exists,
+              int num_terms, bool cnf, std::mt19937* rng) {
+  Qbf qbf;
+  qbf.matrix_is_cnf = cnf;
+  bool exists = first_exists;
+  for (int size : block_sizes) {
+    QuantBlock block;
+    block.exists = exists;
+    for (int i = 0; i < size; ++i) block.vars.push_back(qbf.num_vars++);
+    qbf.prefix.push_back(std::move(block));
+    exists = !exists;
+  }
+  std::uniform_int_distribution<int> var_dist(0, qbf.num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  for (int t = 0; t < num_terms; ++t) {
+    std::vector<Lit> term;
+    for (int i = 0; i < 3; ++i) {
+      term.push_back(MakeLit(var_dist(*rng), sign_dist(*rng) == 1));
+    }
+    qbf.terms.push_back(std::move(term));
+  }
+  return qbf;
+}
+
+}  // namespace currency::sat

@@ -1,0 +1,57 @@
+// Quantified Boolean formulas with CNF or DNF matrices, plus a brute-force
+// evaluator.  This is the *independent oracle* used to validate the
+// lower-bound reductions of the paper (Theorems 3.1, 3.4, 3.5, 5.1, 5.3):
+// every reduction test generates a formula, evaluates it here, and checks
+// the corresponding currency solver agrees.
+
+#ifndef CURRENCY_SRC_SAT_QBF_H_
+#define CURRENCY_SRC_SAT_QBF_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sat/clause.h"
+
+namespace currency::sat {
+
+/// A block of identically quantified variables.
+struct QuantBlock {
+  bool exists = true;        ///< true: ∃, false: ∀
+  std::vector<Var> vars;
+};
+
+/// A prenex QBF.  The matrix is a conjunction of clauses (CNF) or a
+/// disjunction of cubes (DNF) over literals in MiniSat encoding.
+struct Qbf {
+  int num_vars = 0;
+  std::vector<QuantBlock> prefix;
+  bool matrix_is_cnf = true;
+  /// CNF: each inner vector is a clause (disjunction).
+  /// DNF: each inner vector is a cube (conjunction).
+  std::vector<std::vector<Lit>> terms;
+
+  /// Renders e.g. "∃{0,1}∀{2} CNF[(x0|~x2)(x1)]" for debugging.
+  std::string ToString() const;
+};
+
+/// Evaluates the matrix under a total assignment.
+bool EvaluateMatrix(const Qbf& qbf, const std::vector<bool>& assignment);
+
+/// Brute-force QBF evaluation by recursion over the prefix.  Variables not
+/// mentioned in the prefix are implicitly existential (innermost).
+/// Exponential in num_vars; fails if num_vars exceeds `max_vars` (guard
+/// against accidental blowups in tests).
+Result<bool> EvaluateQbf(const Qbf& qbf, int max_vars = 26);
+
+/// Generates a random prenex QBF with the given quantifier block sizes and
+/// `num_terms` random 3-literal terms.  `cnf` selects CNF vs DNF matrix.
+/// Each quantifier block alternates starting from `first_exists`.
+Qbf RandomQbf(const std::vector<int>& block_sizes, bool first_exists,
+              int num_terms, bool cnf, std::mt19937* rng);
+
+}  // namespace currency::sat
+
+#endif  // CURRENCY_SRC_SAT_QBF_H_

@@ -1,0 +1,119 @@
+// A compact CDCL SAT solver: two-watched-literal propagation, 1UIP clause
+// learning with backjumping, VSIDS-style activities with phase saving, and
+// Luby restarts.  Supports incremental solving under assumptions and
+// incremental clause addition between calls — exactly what the currency
+// solvers (CPS/COP/DCIP/CCQA) need.
+
+#ifndef CURRENCY_SRC_SAT_SOLVER_H_
+#define CURRENCY_SRC_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/sat/clause.h"
+
+namespace currency::sat {
+
+/// Outcome of a Solve() call.
+enum class SolveResult { kSat, kUnsat };
+
+/// Counters exposed for the ablation benchmarks.
+struct SolverStats {
+  int64_t decisions = 0;
+  int64_t propagations = 0;
+  int64_t conflicts = 0;
+  int64_t restarts = 0;
+  int64_t learnt_clauses = 0;
+};
+
+/// A CDCL solver.  Typical use:
+///   Solver s;
+///   Var a = s.NewVar(), b = s.NewVar();
+///   s.AddClause({MakeLit(a), MakeLit(b, true)});
+///   if (s.Solve() == SolveResult::kSat) { bool va = s.ModelValue(a); ... }
+class Solver {
+ public:
+  Solver() = default;
+
+  /// Allocates a fresh variable and returns it.
+  Var NewVar();
+
+  /// Number of allocated variables.
+  int NumVars() const { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (disjunction of literals).  Returns false if the solver
+  /// is already in an UNSAT state after level-0 simplification (adding the
+  /// empty clause, or a unit that contradicts level-0 knowledge).
+  bool AddClause(std::vector<Lit> lits);
+
+  /// Solves the current formula.
+  SolveResult Solve() { return SolveWithAssumptions({}); }
+
+  /// Solves under the given assumption literals.  The assumptions are not
+  /// added to the formula; they only constrain this call.
+  SolveResult SolveWithAssumptions(const std::vector<Lit>& assumptions);
+
+  /// Value of `v` in the most recent satisfying model.  Requires the last
+  /// Solve call to have returned kSat.
+  bool ModelValue(Var v) const { return model_[v] == 1; }
+
+  /// The full model (indexed by Var) from the last kSat call.
+  const std::vector<int8_t>& model() const { return model_; }
+
+  /// True once the formula is known unsatisfiable regardless of assumptions.
+  bool IsUnsatForever() const { return !ok_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // --- assignment trail ---
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  /// Current value of a literal: +1 true, -1 false, 0 unassigned.
+  int LitValue(Lit l) const {
+    int8_t v = assign_[LitVar(l)];
+    return LitIsNeg(l) ? -v : v;
+  }
+  void UncheckedEnqueue(Lit l, int reason_clause);
+  void CancelUntil(int level);
+
+  // --- search ---
+  /// Propagates all pending assignments; returns conflicting clause index
+  /// or -1 if no conflict.
+  int Propagate();
+  /// 1UIP conflict analysis; fills `learnt` (learnt[0] is the asserting
+  /// literal) and returns the backjump level.
+  int Analyze(int conflict_clause, std::vector<Lit>* learnt);
+  /// Attaches clause `ci` to the watch lists.
+  void Attach(int ci);
+  /// Picks the next branching literal (VSIDS + saved phase), or kLitUndef.
+  Lit PickBranchLit();
+  void BumpVar(Var v);
+  void DecayActivities() { var_inc_ /= 0.95; }
+  /// Luby sequence value for restart scheduling.
+  static double Luby(double y, int x);
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;
+  /// watches_[lit]: clause indices watching `lit` (i.e. containing it among
+  /// their first two literals).
+  std::vector<std::vector<int>> watches_;
+  std::vector<int8_t> assign_;   // per var: +1 / -1 / 0
+  std::vector<int> reason_;      // per var: clause index or -1
+  std::vector<int> level_;       // per var
+  std::vector<double> activity_; // per var
+  std::vector<int8_t> phase_;    // per var: last assigned sign (+1/-1)
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  std::priority_queue<std::pair<double, Var>> order_heap_;
+  std::vector<int8_t> model_;
+  std::vector<int8_t> seen_;     // scratch for Analyze
+  SolverStats stats_;
+};
+
+}  // namespace currency::sat
+
+#endif  // CURRENCY_SRC_SAT_SOLVER_H_

@@ -1,0 +1,180 @@
+// Unit tests for src/copy: copying condition, ≺-compatibility (Example 2.2).
+
+#include <gtest/gtest.h>
+
+#include "src/copy/copy_function.h"
+
+namespace currency::copy {
+namespace {
+
+Schema EmpSchema() {
+  return Schema::Make("Emp", {"FN", "LN", "address", "salary", "status"})
+      .value();
+}
+Schema DeptSchema() {
+  return Schema::Make("Dept", {"mgrFN", "mgrLN", "mgrAddr", "budget"},
+                      "dname")
+      .value();
+}
+
+Relation MakeEmp() {
+  Relation emp(EmpSchema());
+  auto add = [&](const char* eid, const char* fn, const char* ln,
+                 const char* addr, int salary, const char* status) {
+    ASSERT_TRUE(emp.AppendValues({Value(eid), Value(fn), Value(ln),
+                                  Value(addr), Value(salary), Value(status)})
+                    .ok());
+  };
+  add("Mary", "Mary", "Smith", "2 Small St", 50, "single");    // s1 = 0
+  add("Mary", "Mary", "Dupont", "10 Elm Ave", 50, "married");  // s2 = 1
+  add("Mary", "Mary", "Dupont", "6 Main St", 80, "married");   // s3 = 2
+  add("Bob", "Bob", "Luth", "8 Cowan St", 80, "married");      // s4 = 3
+  add("Bob", "Robert", "Luth", "8 Drum St", 55, "married");    // s5 = 4
+  return emp;
+}
+
+Relation MakeDept() {
+  Relation dept(DeptSchema());
+  auto add = [&](const char* dn, const char* fn, const char* ln,
+                 const char* addr, int budget) {
+    ASSERT_TRUE(dept.AppendValues(
+                        {Value(dn), Value(fn), Value(ln), Value(addr),
+                         Value(budget)})
+                    .ok());
+  };
+  add("R&D_", "Mary", "Smith", "2 Small St", 6500);  // t1 = 0
+  add("R&D_", "Mary", "Smith", "2 Small St", 7000);  // t2 = 1
+  add("R&D_", "Mary", "Dupont", "6 Main St", 6000);  // t3 = 2
+  add("R&D_", "Ed", "Luth", "8 Cowan St", 6000);     // t4 = 3
+  return dept;
+}
+
+CopyFunction MakeRho() {
+  // ρ: Dept[mgrAddr] ⇐ Emp[address] with ρ(t1)=s1, ρ(t2)=s1, ρ(t3)=s3,
+  // ρ(t4)=s4 (Example 2.2).
+  CopySignature sig;
+  sig.target_relation = "Dept";
+  sig.target_attrs = {"mgrAddr"};
+  sig.source_relation = "Emp";
+  sig.source_attrs = {"address"};
+  CopyFunction rho(sig);
+  EXPECT_TRUE(rho.Map(0, 0).ok());
+  EXPECT_TRUE(rho.Map(1, 0).ok());
+  EXPECT_TRUE(rho.Map(2, 2).ok());
+  EXPECT_TRUE(rho.Map(3, 3).ok());
+  return rho;
+}
+
+TEST(CopyFunctionTest, SignatureToString) {
+  CopyFunction rho = MakeRho();
+  EXPECT_EQ(rho.signature().ToString(),
+            "Dept[mgrAddr] <= Emp[address]");
+}
+
+TEST(CopyFunctionTest, MappingBasics) {
+  CopyFunction rho = MakeRho();
+  EXPECT_EQ(rho.size(), 4);
+  EXPECT_EQ(rho.SourceOf(0), 0);
+  EXPECT_EQ(rho.SourceOf(2), 2);
+  EXPECT_EQ(rho.SourceOf(99), -1);
+  EXPECT_FALSE(rho.Map(0, 1).ok());  // remap rejected
+}
+
+TEST(CopyFunctionTest, CopyingConditionHolds) {
+  Relation emp = MakeEmp();
+  Relation dept = MakeDept();
+  CopyFunction rho = MakeRho();
+  EXPECT_TRUE(rho.Validate(dept, emp).ok());
+}
+
+TEST(CopyFunctionTest, CopyingConditionViolation) {
+  Relation emp = MakeEmp();
+  Relation dept = MakeDept();
+  CopySignature sig;
+  sig.target_relation = "Dept";
+  sig.target_attrs = {"mgrAddr"};
+  sig.source_relation = "Emp";
+  sig.source_attrs = {"address"};
+  CopyFunction bad(sig);
+  ASSERT_TRUE(bad.Map(0, 2).ok());  // t1[mgrAddr]="2 Small St" != s3[address]
+  EXPECT_EQ(bad.Validate(dept, emp).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CopyFunctionTest, ResolveAttrsValidation) {
+  Relation emp = MakeEmp();
+  Relation dept = MakeDept();
+  CopySignature sig;
+  sig.target_relation = "Dept";
+  sig.target_attrs = {"mgrAddr", "budget"};
+  sig.source_relation = "Emp";
+  sig.source_attrs = {"address"};
+  CopyFunction mismatched(sig);
+  EXPECT_FALSE(
+      mismatched.ResolveAttrs(dept.schema(), emp.schema()).ok());
+  sig.target_attrs = {"nope"};
+  CopyFunction unknown(sig);
+  EXPECT_FALSE(unknown.ResolveAttrs(dept.schema(), emp.schema()).ok());
+}
+
+TEST(CopyFunctionTest, CoversAllTargetAttributes) {
+  Schema dept = DeptSchema();
+  CopySignature partial;
+  partial.target_attrs = {"mgrAddr"};
+  EXPECT_FALSE(CopyFunction(partial).CoversAllTargetAttributes(dept));
+  CopySignature full;
+  full.target_attrs = {"mgrFN", "mgrLN", "mgrAddr", "budget"};
+  EXPECT_TRUE(CopyFunction(full).CoversAllTargetAttributes(dept));
+}
+
+TEST(CopyFunctionTest, OrderCompatibilityExample22) {
+  Relation emp = MakeEmp();
+  Relation dept = MakeDept();
+  CopyFunction rho = MakeRho();
+  AttrIndex address = emp.schema().IndexOf("address").value();
+  AttrIndex mgr_addr = dept.schema().IndexOf("mgrAddr").value();
+
+  std::vector<PartialOrder> emp_orders(emp.schema().arity(),
+                                       PartialOrder(emp.size()));
+  std::vector<PartialOrder> dept_orders(dept.schema().arity(),
+                                        PartialOrder(dept.size()));
+  // Empty orders: trivially compatible.
+  EXPECT_TRUE(
+      rho.IsOrderCompatible(dept, dept_orders, emp, emp_orders).value());
+
+  // Example 2.2: with s1 ≺_address s3 and t3 ≺_mgrAddr t1, ρ is NOT
+  // ≺-compatible (s1≺s3 requires t1≺t3, contradicting t3≺t1).
+  ASSERT_TRUE(emp_orders[address].Add(0, 2).ok());
+  ASSERT_TRUE(dept_orders[mgr_addr].Add(2, 0).ok());
+  EXPECT_FALSE(
+      rho.IsOrderCompatible(dept, dept_orders, emp, emp_orders).value());
+
+  // Flipping the Dept order restores compatibility: both t1 and t2 copy
+  // from s1, so s1 ≺ s3 forces t1 ≺ t3 AND t2 ≺ t3.
+  std::vector<PartialOrder> dept_ok(dept.schema().arity(),
+                                    PartialOrder(dept.size()));
+  ASSERT_TRUE(dept_ok[mgr_addr].Add(0, 2).ok());
+  EXPECT_FALSE(
+      rho.IsOrderCompatible(dept, dept_ok, emp, emp_orders).value());
+  ASSERT_TRUE(dept_ok[mgr_addr].Add(1, 2).ok());
+  EXPECT_TRUE(rho.IsOrderCompatible(dept, dept_ok, emp, emp_orders).value());
+}
+
+TEST(CopyFunctionTest, CompatibilityIgnoresCrossEntityPairs) {
+  Relation emp = MakeEmp();
+  Relation dept = MakeDept();
+  CopyFunction rho = MakeRho();
+  AttrIndex address = emp.schema().IndexOf("address").value();
+  std::vector<PartialOrder> emp_orders(emp.schema().arity(),
+                                       PartialOrder(emp.size()));
+  std::vector<PartialOrder> dept_orders(dept.schema().arity(),
+                                        PartialOrder(dept.size()));
+  // s3 (Mary) ≺ s4 (Bob) crosses entities in the SOURCE: ρ(t3)=s3 and
+  // ρ(t4)=s4 share the Dept entity R&D, but the source tuples belong to
+  // different people, so no constraint arises.
+  ASSERT_TRUE(emp_orders[address].Add(2, 3).ok());
+  EXPECT_TRUE(
+      rho.IsOrderCompatible(dept, dept_orders, emp, emp_orders).value());
+}
+
+}  // namespace
+}  // namespace currency::copy

@@ -1,0 +1,153 @@
+// Invariant tests for the brute-force oracle itself: the certain-prefix
+// seeding and definitive-violation pruning inside
+// EnumerateConsistentCompletions are optimizations and must not change
+// WHICH completions are visited.  The reference below re-enumerates the
+// raw cross product of linear extensions of the *initial* orders and
+// filters with IsConsistentCompletion only.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/brute_force.h"
+#include "src/order/linear_extensions.h"
+#include "tests/fixtures.h"
+
+namespace currency::core {
+namespace {
+
+using currency::testing::MakeRandomSpec;
+
+/// Raw reference enumeration: no seeding, no pruning.
+Result<int64_t> RawCount(const Specification& spec, int64_t max_candidates) {
+  struct Slot {
+    int inst;
+    AttrIndex attr;
+    std::vector<std::vector<TupleId>> extensions;
+  };
+  std::vector<Slot> slots;
+  int64_t estimate = 1;
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const TemporalInstance& inst = spec.instance(i);
+    for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+      for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+        (void)eid;
+        if (members.size() <= 1) continue;
+        Slot slot;
+        slot.inst = i;
+        slot.attr = a;
+        EnumerateLinearExtensions(inst.order(a), members,
+                                  [&](const std::vector<int>& seq) {
+                                    slot.extensions.push_back(seq);
+                                    return true;
+                                  });
+        estimate *= static_cast<int64_t>(slot.extensions.size());
+        if (estimate > max_candidates) {
+          return Status::ResourceExhausted("raw reference too large");
+        }
+        slots.push_back(std::move(slot));
+      }
+    }
+  }
+  Completion base;
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    base.orders.push_back(spec.instance(i).orders());
+  }
+  int64_t count = 0;
+  std::function<Status(size_t, Completion&)> rec =
+      [&](size_t k, Completion& partial) -> Status {
+    if (k == slots.size()) {
+      ASSIGN_OR_RETURN(bool ok, IsConsistentCompletion(spec, partial));
+      if (ok) ++count;
+      return Status::OK();
+    }
+    for (const auto& seq : slots[k].extensions) {
+      Completion next = partial;
+      PartialOrder& po = next.orders[slots[k].inst][slots[k].attr];
+      bool feasible = true;
+      for (size_t j = 0; j + 1 < seq.size(); ++j) {
+        if (!po.TryAdd(seq[j], seq[j + 1])) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) RETURN_IF_ERROR(rec(k + 1, next));
+    }
+    return Status::OK();
+  };
+  RETURN_IF_ERROR(rec(0, base));
+  return count;
+}
+
+class OracleCountInvariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleCountInvariant, SeedingAndPruningLoseNothing) {
+  for (int variant = 0; variant < 4; ++variant) {
+    Specification spec =
+        MakeRandomSpec(GetParam() * 419 + variant, variant & 1, variant & 2);
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
+                 " variant=" + std::to_string(variant));
+    auto raw = RawCount(spec, 500'000);
+    if (!raw.ok()) continue;  // reference too large: skip this draw
+    int64_t optimized =
+        EnumerateConsistentCompletions(
+            spec, [](const Completion&) { return true; })
+            .value();
+    EXPECT_EQ(optimized, *raw);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, OracleCountInvariant, ::testing::Range(0, 25));
+
+TEST(OracleInvariantTest, VisitedCompletionsAreConsistentAndDistinct) {
+  Specification spec = MakeRandomSpec(12345, /*with_copy=*/true,
+                                      /*with_constraints=*/true);
+  std::set<std::string> seen;
+  auto count = EnumerateConsistentCompletions(spec, [&](const Completion& c) {
+    // Every visited completion passes the full validity check ...
+    EXPECT_TRUE(IsConsistentCompletion(spec, c).value());
+    // ... and is pairwise distinct (serialize the orders as a key).
+    std::string key;
+    for (const auto& per_inst : c.orders) {
+      for (const auto& po : per_inst) key += po.ToString() + "|";
+    }
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate completion visited";
+    return true;
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), *count);
+}
+
+TEST(OracleInvariantTest, EarlyStopIsHonoured) {
+  Specification spec = MakeRandomSpec(777, false, false);
+  int visits = 0;
+  auto count = EnumerateConsistentCompletions(spec, [&](const Completion&) {
+    ++visits;
+    return false;  // stop immediately
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_LE(*count, 1);
+  EXPECT_LE(visits, 1);
+}
+
+TEST(OracleInvariantTest, BudgetGuard) {
+  // A spec with many unconstrained groups exceeds a tiny budget.
+  Specification spec;
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  for (int e = 0; e < 10; ++e) {
+    Value eid("e" + std::to_string(e));
+    (void)r.AppendValues({eid, Value(0)});
+    (void)r.AppendValues({eid, Value(1)});
+    (void)r.AppendValues({eid, Value(2)});
+  }
+  (void)spec.AddInstance(TemporalInstance(std::move(r)));
+  BruteForceOptions options;
+  options.max_candidates = 100;
+  auto count = EnumerateConsistentCompletions(
+      spec, [](const Completion&) { return true; }, options);
+  EXPECT_EQ(count.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace currency::core

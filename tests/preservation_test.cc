@@ -1,0 +1,189 @@
+// Tests for currency preservation (Sections 4, 5): CPP on Example 4.1
+// (the Mgr relation of Fig. 3), ECP (Proposition 5.2), and BCP.
+
+#include <gtest/gtest.h>
+
+#include "src/core/consistency.h"
+#include "src/core/preservation.h"
+#include "src/query/parser.h"
+#include "tests/fixtures.h"
+
+namespace currency::core {
+namespace {
+
+using currency::testing::MakeQ2;
+using currency::testing::MakeS1;
+
+TEST(ExtensionAtomsTest, S1AtomSpace) {
+  Specification s1 = MakeS1();
+  auto atoms = EnumerateExtensionAtoms(s1);
+  ASSERT_TRUE(atoms.ok()) << atoms.status();
+  // Mgr ⇐ sources s'1..s'3 × Emp entities {Bob, Mary, Robert} = 9, minus
+  // the deduplicated (s'2 → Mary) already imported as ρ(s3) = s'2.
+  EXPECT_EQ(atoms->size(), 8u);
+  for (const ExtensionAtom& atom : *atoms) {
+    EXPECT_EQ(atom.copy_edge, 0);
+    EXPECT_FALSE(atom.source_tuple == 1 && atom.target_eid == Value("Mary"));
+  }
+}
+
+TEST(ExtensionAtomsTest, NonCoveringFunctionsAreNotExtendable) {
+  Specification s0 = currency::testing::MakeS0();
+  // ρ: Dept[mgrAddr] ⇐ Emp[address] covers one of four attributes.
+  auto atoms = EnumerateExtensionAtoms(s0);
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_TRUE(atoms->empty());
+}
+
+TEST(ApplyExtensionTest, BuildsSe) {
+  Specification s1 = MakeS1();
+  ExtensionAtom atom;
+  atom.copy_edge = 0;
+  atom.source_tuple = 2;  // s'3 = (Mary, Smith, 2 Small St, 80, divorced)
+  atom.target_eid = Value("Mary");
+  auto se = ApplyExtension(s1, {atom});
+  ASSERT_TRUE(se.ok()) << se.status();
+  const Relation& emp = se->instance(0).relation();
+  ASSERT_EQ(emp.size(), 6);
+  EXPECT_EQ(emp.tuple(5),
+            Tuple({Value("Mary"), Value("Mary"), Value("Smith"),
+                   Value("2 Small St"), Value(80), Value("divorced")}));
+  // The new tuple is mapped by the extended copy function.
+  EXPECT_EQ(se->copy_edges()[0].fn.SourceOf(5), 2);
+  // Se is consistent.
+  EXPECT_TRUE(DecideConsistency(*se)->consistent);
+}
+
+TEST(CppTest, Example41RhoIsNotPreserving) {
+  // Copying s'3 (divorced, LN Smith) into Emp flips Q2's certain answer
+  // from Dupont to Smith, so ρ is not currency preserving.
+  Specification s1 = MakeS1();
+  auto preserving = IsCurrencyPreserving(s1, MakeQ2());
+  ASSERT_TRUE(preserving.ok()) << preserving.status();
+  EXPECT_FALSE(*preserving);
+}
+
+TEST(CppTest, Example41Rho1IsPreserving) {
+  // After importing s'3 for Mary, Q2's certain answer is Smith and stays
+  // Smith under every further import (ρ1 in the paper's notation).
+  Specification s1 = MakeS1();
+  ExtensionAtom atom;
+  atom.copy_edge = 0;
+  atom.source_tuple = 2;
+  atom.target_eid = Value("Mary");
+  Specification se = ApplyExtension(s1, {atom}).value();
+  // Sanity: certain answer flipped to Smith.
+  auto answers = CertainCurrentAnswers(se, MakeQ2());
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, std::set<Tuple>{Tuple({Value("Smith")})});
+  auto preserving = IsCurrencyPreserving(se, MakeQ2());
+  ASSERT_TRUE(preserving.ok()) << preserving.status();
+  EXPECT_TRUE(*preserving);
+}
+
+TEST(CppTest, InconsistentSpecIsNotPreserving) {
+  Specification spec;
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value("e"), Value(1)}).ok());
+  ASSERT_TRUE(r.AppendValues({Value("e"), Value(2)}).ok());
+  ASSERT_TRUE(spec.AddInstance(TemporalInstance(std::move(r))).ok());
+  ASSERT_TRUE(
+      spec.AddConstraintText("FORALL s, t IN R: s.A > t.A -> t PREC[A] s")
+          .ok());
+  ASSERT_TRUE(
+      spec.AddConstraintText("FORALL s, t IN R: s.A < t.A -> t PREC[A] s")
+          .ok());
+  auto q = query::ParseQuery("Q(x) := EXISTS e: R(e, x)").value();
+  EXPECT_FALSE(IsCurrencyPreserving(spec, q).value());
+}
+
+TEST(CppTest, NoExtendableFunctionsMeansPreserving) {
+  // S0's only copy function is not extendable, so Ext(ρ) = ∅ and ρ is
+  // trivially currency preserving for any query.
+  Specification s0 = currency::testing::MakeS0();
+  auto q = currency::testing::MakeQ1();
+  EXPECT_TRUE(IsCurrencyPreserving(s0, q).value());
+}
+
+TEST(EcpTest, AlwaysExtendableWhenConsistent) {
+  Specification s1 = MakeS1();
+  EXPECT_TRUE(CanExtendToCurrencyPreserving(s1, MakeQ2()).value());
+
+  Specification inconsistent;
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value("e"), Value(1)}).ok());
+  ASSERT_TRUE(r.AppendValues({Value("e"), Value(2)}).ok());
+  ASSERT_TRUE(
+      inconsistent.AddInstance(TemporalInstance(std::move(r))).ok());
+  ASSERT_TRUE(inconsistent
+                  .AddConstraintText(
+                      "FORALL s, t IN R: s.A > t.A -> t PREC[A] s")
+                  .ok());
+  ASSERT_TRUE(inconsistent
+                  .AddConstraintText(
+                      "FORALL s, t IN R: s.A < t.A -> t PREC[A] s")
+                  .ok());
+  auto q = query::ParseQuery("Q(x) := EXISTS e: R(e, x)").value();
+  EXPECT_FALSE(CanExtendToCurrencyPreserving(inconsistent, q).value());
+}
+
+TEST(EcpTest, MaximalExtensionIsPreserving) {
+  Specification s1 = MakeS1();
+  auto maximal = MaximalConsistentExtension(s1);
+  ASSERT_TRUE(maximal.ok()) << maximal.status();
+  // All 8 atoms are individually and jointly consistent here.
+  EXPECT_EQ(maximal->size(), 8u);
+  Specification se = ApplyExtension(s1, *maximal).value();
+  EXPECT_TRUE(DecideConsistency(se)->consistent);
+  // A maximal extension has an empty extension space, hence preserving.
+  EXPECT_TRUE(EnumerateExtensionAtoms(se)->empty());
+  EXPECT_TRUE(IsCurrencyPreserving(se, MakeQ2()).value());
+}
+
+TEST(BcpTest, SingleAtomSufficesOnS1) {
+  // The (s'3 → Mary) import alone is currency preserving: BCP true at
+  // k = 1 (and any larger k).
+  Specification s1 = MakeS1();
+  EXPECT_TRUE(
+      HasBoundedCurrencyPreservingExtension(s1, MakeQ2(), 1).value());
+  EXPECT_TRUE(
+      HasBoundedCurrencyPreservingExtension(s1, MakeQ2(), 3).value());
+}
+
+TEST(BcpTest, KZeroFailsWhenRhoIsNotPreserving) {
+  // k = 0 permits no atoms, and extensions must be non-empty, so BCP is
+  // false exactly because ρ itself is not preserving.
+  Specification s1 = MakeS1();
+  EXPECT_FALSE(
+      HasBoundedCurrencyPreservingExtension(s1, MakeQ2(), 0).value());
+}
+
+TEST(BcpTest, InconsistentSpecHasNoBoundedExtension) {
+  Specification spec;
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value("e"), Value(1)}).ok());
+  ASSERT_TRUE(r.AppendValues({Value("e"), Value(2)}).ok());
+  ASSERT_TRUE(spec.AddInstance(TemporalInstance(std::move(r))).ok());
+  ASSERT_TRUE(
+      spec.AddConstraintText("FORALL s, t IN R: s.A > t.A -> t PREC[A] s")
+          .ok());
+  ASSERT_TRUE(
+      spec.AddConstraintText("FORALL s, t IN R: s.A < t.A -> t PREC[A] s")
+          .ok());
+  auto q = query::ParseQuery("Q(x) := EXISTS e: R(e, x)").value();
+  EXPECT_FALSE(HasBoundedCurrencyPreservingExtension(spec, q, 2).value());
+}
+
+TEST(PreservationTest, AtomBudgetGuard) {
+  Specification s1 = MakeS1();
+  PreservationOptions options;
+  options.max_atoms = 2;  // 8 atoms exist
+  EXPECT_EQ(IsCurrencyPreserving(s1, MakeQ2(), options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace currency::core

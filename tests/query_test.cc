@@ -1,0 +1,279 @@
+// Unit tests for src/query: parser, classifier, evaluators.
+
+#include <gtest/gtest.h>
+
+#include "src/query/classify.h"
+#include "src/query/eval.h"
+#include "src/query/parser.h"
+
+namespace currency::query {
+namespace {
+
+Relation MakeEmp() {
+  // Fig. 1 of the paper, entity ids added: s1..s3 are Mary, s4/s5 Bob.
+  Schema schema =
+      Schema::Make("Emp", {"FN", "LN", "address", "salary", "status"}).value();
+  Relation emp(schema);
+  auto add = [&](const char* eid, const char* fn, const char* ln,
+                 const char* addr, int salary, const char* status) {
+    ASSERT_TRUE(emp.AppendValues({Value(eid), Value(fn), Value(ln),
+                                  Value(addr), Value(salary), Value(status)})
+                    .ok());
+  };
+  add("Mary", "Mary", "Smith", "2 Small St", 50, "single");
+  add("Mary", "Mary", "Dupont", "10 Elm Ave", 50, "married");
+  add("Mary", "Mary", "Dupont", "6 Main St", 80, "married");
+  add("Bob", "Bob", "Luth", "8 Cowan St", 80, "married");
+  add("Bob", "Robert", "Luth", "8 Drum St", 55, "married");
+  return emp;
+}
+
+TEST(ParserTest, ParsesSimpleQuery) {
+  auto q = ParseQuery(
+      "Q1(s) := EXISTS e, fn, ln, a, st: Emp(e, fn, ln, a, s, st) AND "
+      "e = 'Mary'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->name, "Q1");
+  EXPECT_EQ(q->head, std::vector<std::string>{"s"});
+  EXPECT_EQ(q->body->kind(), Formula::Kind::kExists);
+}
+
+TEST(ParserTest, ParsesBooleanQuery) {
+  auto q = ParseQuery("Q() := EXISTS x: R(x)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->head.empty());
+}
+
+TEST(ParserTest, ParsesForallNotOr) {
+  auto q = ParseQuery(
+      "Q(x) := R(x) AND (FORALL y: NOT S(x, y) OR T(y)) AND NOT U(x)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(Classify(*q), QueryLanguage::kFo);
+}
+
+TEST(ParserTest, QuantifierScopeExtendsRight) {
+  auto q = ParseQuery("Q() := EXISTS x: R(x) AND S(x)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // EXISTS captures the whole conjunction.
+  ASSERT_EQ(q->body->kind(), Formula::Kind::kExists);
+  EXPECT_EQ(q->body->child()->kind(), Formula::Kind::kAnd);
+}
+
+TEST(ParserTest, RejectsUnboundHeadVariable) {
+  EXPECT_FALSE(ParseQuery("Q(z) := EXISTS x: R(x)").ok());
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseQuery("Q(x) :=").ok());
+  EXPECT_FALSE(ParseQuery("Q(x) R(x)").ok());
+  EXPECT_FALSE(ParseQuery("Q(x) := R(x").ok());
+  EXPECT_FALSE(ParseQuery("Q(x) := x").ok());
+  EXPECT_FALSE(ParseFormula("R(x) AND").ok());
+  EXPECT_FALSE(ParseFormula("R('unterminated)").ok());
+}
+
+TEST(ParserTest, ParsesConstantsAndComparisons) {
+  auto f = ParseFormula("x >= 50 AND y != 'abc' AND z = 3.5");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ((*f)->kind(), Formula::Kind::kAnd);
+  EXPECT_EQ((*f)->children().size(), 3u);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto q = ParseQuery("Q(x) := EXISTS y: R(x, y) AND x = 1");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status() << " on " << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+TEST(ClassifyTest, Hierarchy) {
+  auto cq = ParseQuery("Q(x) := EXISTS y: R(x, y) AND S(y)").value();
+  EXPECT_EQ(Classify(cq), QueryLanguage::kCq);
+
+  auto ucq =
+      ParseQuery("Q(x) := (EXISTS y: R(x, y)) OR (EXISTS z: S2(x, z))").value();
+  EXPECT_EQ(Classify(ucq), QueryLanguage::kUcq);
+
+  auto efo = ParseQuery("Q(x) := EXISTS y: (R(x, y) OR S2(x, y))").value();
+  EXPECT_EQ(Classify(efo), QueryLanguage::kExistsFoPlus);
+
+  auto fo = ParseQuery("Q(x) := R(x, x) AND NOT S(x)").value();
+  EXPECT_EQ(Classify(fo), QueryLanguage::kFo);
+
+  auto forall = ParseQuery("Q(x) := R(x, x) AND FORALL y: S(y)").value();
+  EXPECT_EQ(Classify(forall), QueryLanguage::kFo);
+}
+
+TEST(ClassifyTest, LanguageNames) {
+  EXPECT_STREQ(QueryLanguageToString(QueryLanguage::kCq), "CQ");
+  EXPECT_STREQ(QueryLanguageToString(QueryLanguage::kUcq), "UCQ");
+  EXPECT_STREQ(QueryLanguageToString(QueryLanguage::kFo), "FO");
+}
+
+TEST(ClassifyTest, SpQueries) {
+  // Q1 from the paper: selection + projection on Emp.
+  auto q1 = ParseQuery(
+                "Q1(s) := EXISTS e, fn, ln, a, st: "
+                "Emp(e, fn, ln, a, s, st) AND e = 'Mary'")
+                .value();
+  EXPECT_TRUE(IsSpQuery(q1));
+  EXPECT_EQ(Classify(q1), QueryLanguage::kCq);
+
+  // A join is not SP.
+  auto join =
+      ParseQuery("Q(x) := EXISTS y: R(x, y) AND S(y)").value();
+  EXPECT_FALSE(IsSpQuery(join));
+
+  // Repeated variable in the atom is not SP.
+  auto rep = ParseQuery("Q(x) := R(x, x)").value();
+  EXPECT_FALSE(IsSpQuery(rep));
+
+  // Identity query is SP.
+  auto ident = ParseQuery("Q(x, y) := RN(x, y)").value();
+  EXPECT_TRUE(IsSpQuery(ident));
+  EXPECT_TRUE(IsIdentityQuery(ident));
+  EXPECT_FALSE(IsIdentityQuery(q1));
+  // Head order must match for identity.
+  auto swapped = ParseQuery("Q(y, x) := RN(x, y)").value();
+  EXPECT_FALSE(IsIdentityQuery(swapped));
+}
+
+TEST(EvalTest, SelectionProjection) {
+  Relation emp = MakeEmp();
+  Database db{{"Emp", &emp}};
+  auto q = ParseQuery(
+               "Q(s) := EXISTS e, fn, ln, a, st: Emp(e, fn, ln, a, s, st) "
+               "AND e = 'Mary'")
+               .value();
+  auto result = EvalQuery(q, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Mary's salaries: 50 and 80.
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_TRUE(result->count(Tuple({Value(50)})));
+  EXPECT_TRUE(result->count(Tuple({Value(80)})));
+}
+
+TEST(EvalTest, Join) {
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Schema ss = Schema::Make("S", {"B"}).value();
+  Relation r(rs), s(ss);
+  ASSERT_TRUE(r.AppendValues({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(r.AppendValues({Value(2), Value(20)}).ok());
+  ASSERT_TRUE(s.AppendValues({Value(7), Value(10)}).ok());
+  Database db{{"R", &r}, {"S", &s}};
+  auto q =
+      ParseQuery("Q(x) := EXISTS e1, e2: R(e1, x) AND S(e2, x)").value();
+  auto result = EvalQuery(q, db).value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.count(Tuple({Value(10)})));
+}
+
+TEST(EvalTest, UnionOfConjunctiveQueries) {
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(r.AppendValues({Value(2), Value(20)}).ok());
+  Database db{{"R", &r}};
+  auto q = ParseQuery(
+               "Q(x) := (EXISTS e: R(e, x) AND x = 10) OR "
+               "(EXISTS e: R(e, x) AND x = 20)")
+               .value();
+  auto result = EvalQuery(q, db).value();
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(EvalTest, NegationUsesActiveDomain) {
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Schema ss = Schema::Make("S", {"B"}).value();
+  Relation r(rs), s(ss);
+  ASSERT_TRUE(r.AppendValues({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(r.AppendValues({Value(2), Value(20)}).ok());
+  ASSERT_TRUE(s.AppendValues({Value(9), Value(10)}).ok());
+  Database db{{"R", &r}, {"S", &s}};
+  // Values x in R that do not occur in S.
+  auto q = ParseQuery(
+               "Q(x) := (EXISTS e: R(e, x)) AND NOT (EXISTS e2: S(e2, x))")
+               .value();
+  auto result = EvalQuery(q, db).value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.count(Tuple({Value(20)})));
+}
+
+TEST(EvalTest, UniversalQuantifier) {
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value(1), Value(10)}).ok());
+  ASSERT_TRUE(r.AppendValues({Value(2), Value(20)}).ok());
+  Database db{{"R", &r}};
+  // FORALL x: EXISTS e: R(e, x) — false: x = 1 (an eid in the active
+  // domain) has no tuple with A-value 1.
+  auto f1 = ParseFormula("FORALL x: EXISTS e: R(e, x)").value();
+  EXPECT_FALSE(EvalClosedFormula(f1, db).value());
+  // FORALL x: EXISTS e, y: R(e, y) — trivially true (inner part constant).
+  auto f2 = ParseFormula("FORALL x: EXISTS e, y: R(e, y)").value();
+  EXPECT_TRUE(EvalClosedFormula(f2, db).value());
+}
+
+TEST(EvalTest, BooleanQueryYieldsEmptyTuple) {
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value(1), Value(10)}).ok());
+  Database db{{"R", &r}};
+  auto yes = ParseQuery("Q() := EXISTS e, x: R(e, x)").value();
+  auto no = ParseQuery("Q() := EXISTS e: R(e, 99)").value();
+  EXPECT_EQ(EvalQuery(yes, db).value().size(), 1u);
+  EXPECT_EQ(EvalQuery(no, db).value().size(), 0u);
+}
+
+TEST(EvalTest, UnknownRelationFails) {
+  Database db;
+  auto q = ParseQuery("Q(x) := EXISTS e: R(e, x)").value();
+  EXPECT_EQ(EvalQuery(q, db).status().code(), StatusCode::kNotFound);
+}
+
+TEST(EvalTest, ArityMismatchFails) {
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  Database db{{"R", &r}};
+  auto q = ParseQuery("Q(x) := R(x)").value();
+  EXPECT_EQ(EvalQuery(q, db).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalTest, ShadowedQuantifierScopes) {
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value(1), Value(10)}).ok());
+  Database db{{"R", &r}};
+  // Two sibling scopes both quantify 'e'; flattening must not conflate them.
+  auto q = ParseQuery(
+               "Q() := (EXISTS e: R(e, 10)) AND (EXISTS e: R(e, 10))")
+               .value();
+  EXPECT_EQ(EvalQuery(q, db).value().size(), 1u);
+}
+
+TEST(EvalTest, ConstantsInAtoms) {
+  Relation emp = MakeEmp();
+  Database db{{"Emp", &emp}};
+  auto q = ParseQuery(
+               "Q(ln) := EXISTS fn, a, s, st: "
+               "Emp('Mary', fn, ln, a, s, st)")
+               .value();
+  auto result = EvalQuery(q, db).value();
+  EXPECT_EQ(result.size(), 2u);  // Smith, Dupont
+}
+
+TEST(EvalTest, FreeVariablesAndConstantsApi) {
+  auto f = ParseFormula("EXISTS y: R(x, y) AND z = 5").value();
+  auto free = f->FreeVariables();
+  ASSERT_EQ(free.size(), 2u);
+  EXPECT_EQ(free[0], "x");
+  EXPECT_EQ(free[1], "z");
+  auto consts = f->Constants();
+  ASSERT_EQ(consts.size(), 1u);
+  EXPECT_EQ(consts[0], Value(5));
+  EXPECT_EQ(f->Relations(), std::vector<std::string>{"R"});
+}
+
+}  // namespace
+}  // namespace currency::query

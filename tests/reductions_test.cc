@@ -1,0 +1,314 @@
+// Cross-validation of the lower-bound reductions: every gadget family is
+// checked against an independent oracle (the QBF evaluator or brute-force
+// Betweenness) — the reduction plus the corresponding solver must return
+// exactly the Boolean the theorem promises.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/ccqa.h"
+#include "src/core/certain_order.h"
+#include "src/core/consistency.h"
+#include "src/core/deterministic.h"
+#include "src/core/preservation.h"
+#include "src/reductions/formulas.h"
+#include "src/reductions/to_bcp.h"
+#include "src/reductions/to_ccqa.h"
+#include "src/reductions/to_cop.h"
+#include "src/reductions/to_cpp.h"
+#include "src/reductions/to_cps.h"
+
+namespace currency::reductions {
+namespace {
+
+TEST(FormulasTest, BetweennessOracle) {
+  // (0,1,2): solvable trivially.
+  BetweennessInstance easy;
+  easy.num_elements = 3;
+  easy.triples = {{0, 1, 2}};
+  EXPECT_TRUE(SolveBetweennessBruteForce(easy).value());
+  // Classic unsolvable core: b between a,c; c between a,b; a between b,c.
+  BetweennessInstance hard;
+  hard.num_elements = 3;
+  hard.triples = {{0, 1, 2}, {1, 2, 0}, {2, 0, 1}};
+  EXPECT_FALSE(SolveBetweennessBruteForce(hard).value());
+  // Budget guard.
+  BetweennessInstance big;
+  big.num_elements = 12;
+  EXPECT_EQ(SolveBetweennessBruteForce(big).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(FormulasTest, ValidateShape) {
+  std::mt19937 rng(1);
+  sat::Qbf q = sat::RandomQbf({2, 2}, true, 3, /*cnf=*/false, &rng);
+  EXPECT_TRUE(ValidateShape(q, {true, false}, false).ok());
+  EXPECT_FALSE(ValidateShape(q, {true, false}, true).ok());
+  EXPECT_FALSE(ValidateShape(q, {false, true}, false).ok());
+  EXPECT_FALSE(ValidateShape(q, {true}, false).ok());
+}
+
+// --- Theorem 3.1 combined complexity: ∃∀3DNF ⟶ CPS -----------------------
+
+class SigmaP2ToCpsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SigmaP2ToCpsProperty, MatchesQbfOracle) {
+  std::mt19937 rng(GetParam() * 37 + 11);
+  std::uniform_int_distribution<int> size(1, 3);
+  sat::Qbf qbf = sat::RandomQbf({size(rng), size(rng)}, /*first_exists=*/true,
+                                size(rng) + 1, /*cnf=*/false, &rng);
+  bool oracle = sat::EvaluateQbf(qbf).value();
+  auto spec = SigmaP2ToCps(qbf);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto cps = core::DecideConsistency(*spec);
+  ASSERT_TRUE(cps.ok()) << cps.status();
+  EXPECT_EQ(cps->consistent, oracle) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SigmaP2ToCpsProperty, ::testing::Range(0, 25));
+
+// --- Theorem 3.1 data complexity: Betweenness ⟶ CPS -----------------------
+
+class BetweennessToCpsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BetweennessToCpsProperty, MatchesBruteForce) {
+  std::mt19937 rng(GetParam() * 53 + 3);
+  std::uniform_int_distribution<int> nelem(3, 4);
+  std::uniform_int_distribution<int> ntrip(1, 3);
+  BetweennessInstance inst = RandomBetweenness(nelem(rng), ntrip(rng), &rng);
+  bool oracle = SolveBetweennessBruteForce(inst).value();
+  auto spec = BetweennessToCps(inst);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto cps = core::DecideConsistency(*spec);
+  ASSERT_TRUE(cps.ok()) << cps.status();
+  EXPECT_EQ(cps->consistent, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BetweennessToCpsProperty,
+                         ::testing::Range(0, 20));
+
+// --- Theorem 3.4 data complexity: 3SAT ⟶ COP and DCIP ---------------------
+
+class Sat3ToCopProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sat3ToCopProperty, MatchesSatOracle) {
+  std::mt19937 rng(GetParam() * 71 + 5);
+  std::uniform_int_distribution<int> nvars(2, 4);
+  std::uniform_int_distribution<int> nclauses(2, 5);
+  sat::Qbf qbf = sat::RandomQbf({nvars(rng)}, /*first_exists=*/true,
+                                nclauses(rng), /*cnf=*/true, &rng);
+  bool satisfiable = sat::EvaluateQbf(qbf).value();
+  auto gadget = Sat3ToCopDcip(qbf);
+  ASSERT_TRUE(gadget.ok()) << gadget.status();
+  // Ot ("t# on top") is certain iff ψ is unsatisfiable ...
+  auto certain = core::IsCertainOrder(gadget->spec, gadget->order);
+  ASSERT_TRUE(certain.ok()) << certain.status();
+  EXPECT_EQ(*certain, !satisfiable) << qbf.ToString();
+  // ... and the same gadget decides DCIP.
+  auto deterministic =
+      core::IsDeterministicForRelation(gadget->spec, "RC");
+  ASSERT_TRUE(deterministic.ok()) << deterministic.status();
+  EXPECT_EQ(*deterministic, !satisfiable) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Sat3ToCopProperty, ::testing::Range(0, 25));
+
+// --- Theorem 3.5(1): ∀∃3CNF ⟶ CCQA(CQ) ------------------------------------
+
+class PiP2ToCcqaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PiP2ToCcqaProperty, MatchesQbfOracle) {
+  std::mt19937 rng(GetParam() * 97 + 7);
+  std::uniform_int_distribution<int> size(1, 3);
+  sat::Qbf qbf = sat::RandomQbf({size(rng), size(rng)}, /*first_exists=*/false,
+                                size(rng) + 1, /*cnf=*/true, &rng);
+  bool oracle = sat::EvaluateQbf(qbf).value();
+  auto gadget = PiP2ToCcqa(qbf);
+  ASSERT_TRUE(gadget.ok()) << gadget.status();
+  auto certain = core::IsCertainCurrentAnswer(gadget->spec, gadget->query,
+                                              gadget->candidate);
+  ASSERT_TRUE(certain.ok()) << certain.status();
+  EXPECT_EQ(*certain, oracle) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PiP2ToCcqaProperty, ::testing::Range(0, 25));
+
+// --- Theorem 3.5(2): Q3SAT ⟶ CCQA(FO) -------------------------------------
+
+class Q3SatToCcqaFoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(Q3SatToCcqaFoProperty, MatchesQbfOracle) {
+  std::mt19937 rng(GetParam() * 113 + 13);
+  std::uniform_int_distribution<int> blocks(1, 3);
+  std::uniform_int_distribution<int> size(1, 2);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::vector<int> shape;
+  int nb = blocks(rng);
+  for (int b = 0; b < nb; ++b) shape.push_back(size(rng));
+  sat::Qbf qbf = sat::RandomQbf(shape, coin(rng) == 0, 3, /*cnf=*/true, &rng);
+  bool oracle = sat::EvaluateQbf(qbf).value();
+  auto gadget = Q3SatToCcqaFo(qbf);
+  ASSERT_TRUE(gadget.ok()) << gadget.status();
+  bool has_forall = false;
+  for (const auto& block : qbf.prefix) has_forall |= !block.exists;
+  if (has_forall) {
+    // ∀ blocks put the query in full FO (negation + universal quantifier).
+    EXPECT_EQ(query::Classify(gadget->query), query::QueryLanguage::kFo);
+  }
+  auto certain = core::IsCertainCurrentAnswer(gadget->spec, gadget->query,
+                                              gadget->candidate);
+  ASSERT_TRUE(certain.ok()) << certain.status();
+  EXPECT_EQ(*certain, oracle) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Q3SatToCcqaFoProperty,
+                         ::testing::Range(0, 20));
+
+// --- Theorem 3.5 data complexity: 3SAT ⟶ CCQA (fixed query) ----------------
+
+class Sat3ToCcqaDataProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sat3ToCcqaDataProperty, MatchesSatOracle) {
+  std::mt19937 rng(GetParam() * 131 + 17);
+  std::uniform_int_distribution<int> nvars(2, 4);
+  std::uniform_int_distribution<int> nclauses(2, 5);
+  sat::Qbf qbf = sat::RandomQbf({nvars(rng)}, /*first_exists=*/true,
+                                nclauses(rng), /*cnf=*/true, &rng);
+  bool satisfiable = sat::EvaluateQbf(qbf).value();
+  auto gadget = Sat3ToCcqaData(qbf);
+  ASSERT_TRUE(gadget.ok()) << gadget.status();
+  auto certain = core::IsCertainCurrentAnswer(gadget->spec, gadget->query,
+                                              gadget->candidate);
+  ASSERT_TRUE(certain.ok()) << certain.status();
+  EXPECT_EQ(*certain, !satisfiable) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Sat3ToCcqaDataProperty,
+                         ::testing::Range(0, 25));
+
+// --- Theorem 5.1(3): ∀∃3CNF ⟶ CPP -----------------------------------------
+
+class PiP2ToCppProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PiP2ToCppProperty, MatchesQbfOracle) {
+  std::mt19937 rng(GetParam() * 151 + 19);
+  std::uniform_int_distribution<int> size(1, 2);
+  sat::Qbf qbf = sat::RandomQbf({size(rng), size(rng)}, /*first_exists=*/false,
+                                2, /*cnf=*/true, &rng);
+  bool oracle = sat::EvaluateQbf(qbf).value();
+  auto gadget = PiP2ToCppData(qbf);
+  ASSERT_TRUE(gadget.ok()) << gadget.status();
+  auto preserving = core::IsCurrencyPreserving(gadget->spec, gadget->query,
+                                               gadget->options);
+  ASSERT_TRUE(preserving.ok()) << preserving.status();
+  EXPECT_EQ(*preserving, oracle) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PiP2ToCppProperty, ::testing::Range(0, 8));
+
+// --- Theorem 5.1(1): ∃∀∃3CNF ⟶ CPP (combined, Fig. 4) -----------------------
+
+class PiP3ToCppProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PiP3ToCppProperty, MatchesQbfOracle) {
+  std::mt19937 rng(GetParam() * 211 + 29);
+  sat::Qbf qbf = sat::RandomQbf({1, 1, 1}, /*first_exists=*/true, 2,
+                                /*cnf=*/true, &rng);
+  bool oracle = sat::EvaluateQbf(qbf).value();
+  auto gadget = PiP3ToCpp(qbf);
+  ASSERT_TRUE(gadget.ok()) << gadget.status();
+  auto preserving = core::IsCurrencyPreserving(gadget->spec, gadget->query,
+                                               gadget->options);
+  ASSERT_TRUE(preserving.ok()) << preserving.status();
+  // Theorem 5.1(1): the QBF is true iff ρ is NOT currency preserving.
+  EXPECT_EQ(*preserving, !oracle) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PiP3ToCppProperty, ::testing::Range(0, 6));
+
+TEST(PiP3ToCppCrafted, BothOutcomes) {
+  // Random ∃∀∃ formulas are almost always true; exercise both branches
+  // with crafted matrices over x=0, y=1, z=2.
+  // False: ψ = (y): at µY(y)=0 the clause fails for every z, so the
+  // adversary's ∀Y wins and ρ IS preserving.
+  sat::Qbf falsy;
+  falsy.num_vars = 3;
+  falsy.prefix = {{true, {0}}, {false, {1}}, {true, {2}}};
+  falsy.matrix_is_cnf = true;
+  falsy.terms = {{sat::MakeLit(1)}};
+  ASSERT_FALSE(sat::EvaluateQbf(falsy).value());
+  auto g1 = PiP3ToCpp(falsy);
+  ASSERT_TRUE(g1.ok()) << g1.status();
+  EXPECT_TRUE(
+      core::IsCurrencyPreserving(g1->spec, g1->query, g1->options).value());
+
+  // True: ψ = (y ∨ z) ∧ (¬y ∨ ¬z): z = ¬y always works, so pinning any
+  // µX (plus the 'c' flag) makes the answer certain and ρ NOT preserving.
+  sat::Qbf truthy;
+  truthy.num_vars = 3;
+  truthy.prefix = {{true, {0}}, {false, {1}}, {true, {2}}};
+  truthy.matrix_is_cnf = true;
+  truthy.terms = {{sat::MakeLit(1), sat::MakeLit(2)},
+                  {sat::MakeLit(1, true), sat::MakeLit(2, true)}};
+  ASSERT_TRUE(sat::EvaluateQbf(truthy).value());
+  auto g2 = PiP3ToCpp(truthy);
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  EXPECT_FALSE(
+      core::IsCurrencyPreserving(g2->spec, g2->query, g2->options).value());
+}
+
+// --- Theorem 5.3: ∃∀∃∀3DNF ⟶ BCP -------------------------------------------
+
+class SigmaP4ToBcpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SigmaP4ToBcpProperty, MatchesQbfOracle) {
+  std::mt19937 rng(GetParam() * 173 + 23);
+  sat::Qbf qbf = sat::RandomQbf({1, 1, 1, 1}, /*first_exists=*/true, 2,
+                                /*cnf=*/false, &rng);
+  bool oracle = sat::EvaluateQbf(qbf).value();
+  auto gadget = SigmaP4ToBcp(qbf);
+  ASSERT_TRUE(gadget.ok()) << gadget.status();
+  auto bounded = core::HasBoundedCurrencyPreservingExtension(
+      gadget->spec, gadget->query, gadget->k, gadget->options);
+  ASSERT_TRUE(bounded.ok()) << bounded.status();
+  EXPECT_EQ(*bounded, oracle) << qbf.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SigmaP4ToBcpProperty, ::testing::Range(0, 4));
+
+TEST(SigmaP4ToBcpCrafted, BothOutcomes) {
+  // Random ∃∀∃∀3DNF at this size is almost always false; craft both
+  // branches over w=0, x=1, y=2, z=3.
+  // True: ψ = (x∧y) ∨ (¬x∧¬y) — choosing y = x satisfies ψ for all z,
+  // so a one-import extension is currency preserving.
+  sat::Qbf truthy;
+  truthy.num_vars = 4;
+  truthy.prefix = {{true, {0}}, {false, {1}}, {true, {2}}, {false, {3}}};
+  truthy.matrix_is_cnf = false;
+  truthy.terms = {{sat::MakeLit(1), sat::MakeLit(2)},
+                  {sat::MakeLit(1, true), sat::MakeLit(2, true)}};
+  ASSERT_TRUE(sat::EvaluateQbf(truthy).value());
+  auto g1 = SigmaP4ToBcp(truthy);
+  ASSERT_TRUE(g1.ok()) << g1.status();
+  EXPECT_TRUE(core::HasBoundedCurrencyPreservingExtension(
+                  g1->spec, g1->query, g1->k, g1->options)
+                  .value());
+
+  // False: ψ = (z) — the trailing ∀z refutes every strategy, so no
+  // affordable extension is preserving.
+  sat::Qbf falsy;
+  falsy.num_vars = 4;
+  falsy.prefix = {{true, {0}}, {false, {1}}, {true, {2}}, {false, {3}}};
+  falsy.matrix_is_cnf = false;
+  falsy.terms = {{sat::MakeLit(3)}};
+  ASSERT_FALSE(sat::EvaluateQbf(falsy).value());
+  auto g2 = SigmaP4ToBcp(falsy);
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  EXPECT_FALSE(core::HasBoundedCurrencyPreservingExtension(
+                   g2->spec, g2->query, g2->k, g2->options)
+                   .value());
+}
+
+}  // namespace
+}  // namespace currency::reductions

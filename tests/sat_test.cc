@@ -1,0 +1,320 @@
+// Unit + property tests for src/sat: CDCL solver, model enumeration, QBF.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "src/sat/model_enumerator.h"
+#include "src/sat/qbf.h"
+#include "src/sat/solver.h"
+
+namespace currency::sat {
+namespace {
+
+TEST(SolverTest, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, UnitClauses) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a)}));
+  ASSERT_TRUE(s.AddClause({MakeLit(b, true)}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+  EXPECT_FALSE(s.ModelValue(b));
+}
+
+TEST(SolverTest, ContradictoryUnitsUnsat) {
+  Solver s;
+  Var a = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a)}));
+  EXPECT_FALSE(s.AddClause({MakeLit(a, true)}));
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  EXPECT_TRUE(s.IsUnsatForever());
+}
+
+TEST(SolverTest, SimpleImplicationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.NewVar());
+  for (int i = 0; i + 1 < 10; ++i) {
+    ASSERT_TRUE(s.AddClause({MakeLit(v[i], true), MakeLit(v[i + 1])}));
+  }
+  ASSERT_TRUE(s.AddClause({MakeLit(v[0])}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.ModelValue(v[i]));
+}
+
+TEST(SolverTest, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic UNSAT requiring real search.
+  const int pigeons = 4, holes = 3;
+  Solver s;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) x[p][h] = s.NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < holes; ++h) c.push_back(MakeLit(x[p][h]));
+    ASSERT_TRUE(s.AddClause(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        ASSERT_TRUE(
+            s.AddClause({MakeLit(x[p1][h], true), MakeLit(x[p2][h], true)}));
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0);
+}
+
+TEST(SolverTest, TautologyIgnored) {
+  Solver s;
+  Var a = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a), MakeLit(a, true)}));
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, Assumptions) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a, true), MakeLit(b)}));  // a -> b
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(a), MakeLit(b, true)}),
+            SolveResult::kUnsat);
+  // The formula itself is untouched: still SAT without assumptions.
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(a)}), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(b));
+}
+
+TEST(SolverTest, IncrementalAddBetweenSolves) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a), MakeLit(b)}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  ASSERT_TRUE(s.AddClause({MakeLit(a, true)}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_FALSE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b));
+  EXPECT_TRUE(s.AddClause({MakeLit(b, true)}) == false || true);
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+}
+
+// Reference DPLL-free evaluator: checks a CNF against an assignment.
+bool CnfSatisfied(const std::vector<std::vector<Lit>>& cnf,
+                  const Solver& solver) {
+  for (const auto& clause : cnf) {
+    bool sat = false;
+    for (Lit l : clause) {
+      bool v = solver.ModelValue(LitVar(l));
+      if (LitIsNeg(l) ? !v : v) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+// Brute-force SAT check for up to 20 vars.
+bool BruteForceSat(int num_vars, const std::vector<std::vector<Lit>>& cnf) {
+  for (uint32_t mask = 0; mask < (1u << num_vars); ++mask) {
+    bool ok = true;
+    for (const auto& clause : cnf) {
+      bool sat = false;
+      for (Lit l : clause) {
+        bool v = (mask >> LitVar(l)) & 1;
+        if (LitIsNeg(l) ? !v : v) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+class SolverRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverRandomProperty, AgreesWithBruteForce) {
+  std::mt19937 rng(GetParam() * 7919 + 13);
+  const int num_vars = 8;
+  std::uniform_int_distribution<int> nclauses_dist(5, 40);
+  std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  int num_clauses = nclauses_dist(rng);
+  std::vector<std::vector<Lit>> cnf;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(MakeLit(var_dist(rng), sign_dist(rng) == 1));
+    }
+    cnf.push_back(clause);
+  }
+  Solver s;
+  for (int i = 0; i < num_vars; ++i) s.NewVar();
+  bool added_ok = true;
+  for (auto& clause : cnf) {
+    if (!s.AddClause(clause)) {
+      added_ok = false;
+      break;
+    }
+  }
+  bool expected = BruteForceSat(num_vars, cnf);
+  if (!added_ok) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  SolveResult r = s.Solve();
+  EXPECT_EQ(r == SolveResult::kSat, expected);
+  if (r == SolveResult::kSat) {
+    EXPECT_TRUE(CnfSatisfied(cnf, s)) << "model does not satisfy formula";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random3Cnf, SolverRandomProperty,
+                         ::testing::Range(0, 60));
+
+TEST(ModelEnumeratorTest, EnumeratesAllProjectedModels) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  Var c = s.NewVar();
+  // (a | b): models project onto (a,b) in {01,10,11}; c is free.
+  ASSERT_TRUE(s.AddClause({MakeLit(a), MakeLit(b)}));
+  std::set<std::vector<bool>> seen;
+  auto res = EnumerateProjectedModels(&s, {a, b}, 100,
+                                      [&](const std::vector<bool>& m) {
+                                        seen.insert(m);
+                                        return true;
+                                      });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value(), 3);
+  EXPECT_EQ(seen.size(), 3u);
+  (void)c;
+}
+
+TEST(ModelEnumeratorTest, RespectsBudget) {
+  Solver s;
+  for (int i = 0; i < 5; ++i) s.NewVar();
+  std::vector<Var> proj{0, 1, 2, 3, 4};
+  auto res = EnumerateProjectedModels(
+      &s, proj, 10, [](const std::vector<bool>&) { return true; });
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ModelEnumeratorTest, EarlyStop) {
+  Solver s;
+  for (int i = 0; i < 4; ++i) s.NewVar();
+  int visits = 0;
+  auto res = EnumerateProjectedModels(&s, {0, 1, 2, 3}, 100,
+                                      [&](const std::vector<bool>&) {
+                                        ++visits;
+                                        return false;
+                                      });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value(), 1);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(QbfTest, PropositionalMatrix) {
+  // ∃x (x) — trivially true.
+  Qbf q;
+  q.num_vars = 1;
+  q.prefix.push_back({true, {0}});
+  q.matrix_is_cnf = true;
+  q.terms = {{MakeLit(0)}};
+  EXPECT_TRUE(EvaluateQbf(q).value());
+}
+
+TEST(QbfTest, ForallFalse) {
+  // ∀x (x) — false.
+  Qbf q;
+  q.num_vars = 1;
+  q.prefix.push_back({false, {0}});
+  q.terms = {{MakeLit(0)}};
+  EXPECT_FALSE(EvaluateQbf(q).value());
+}
+
+TEST(QbfTest, ExistsForallDnf) {
+  // ∃x∀y (x ∧ y) ∨ (x ∧ ¬y): true with x=1.
+  Qbf q;
+  q.num_vars = 2;
+  q.prefix.push_back({true, {0}});
+  q.prefix.push_back({false, {1}});
+  q.matrix_is_cnf = false;
+  q.terms = {{MakeLit(0), MakeLit(1)}, {MakeLit(0), MakeLit(1, true)}};
+  EXPECT_TRUE(EvaluateQbf(q).value());
+  // ∀x∃y versions differ: ∀x ... (x∧y)∨(x∧¬y) is false at x=0.
+  q.prefix[0].exists = false;
+  q.prefix[1].exists = true;
+  EXPECT_FALSE(EvaluateQbf(q).value());
+}
+
+TEST(QbfTest, GuardsVariableBudget) {
+  Qbf q;
+  q.num_vars = 40;
+  EXPECT_EQ(EvaluateQbf(q).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QbfTest, RejectsDoubleQuantification) {
+  Qbf q;
+  q.num_vars = 1;
+  q.prefix.push_back({true, {0}});
+  q.prefix.push_back({false, {0}});
+  EXPECT_EQ(EvaluateQbf(q).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QbfTest, RandomGeneratorShapes) {
+  std::mt19937 rng(42);
+  Qbf q = RandomQbf({3, 2}, /*first_exists=*/true, 5, /*cnf=*/true, &rng);
+  EXPECT_EQ(q.num_vars, 5);
+  ASSERT_EQ(q.prefix.size(), 2u);
+  EXPECT_TRUE(q.prefix[0].exists);
+  EXPECT_FALSE(q.prefix[1].exists);
+  EXPECT_EQ(q.terms.size(), 5u);
+  for (const auto& t : q.terms) EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(q.ToString().empty());
+}
+
+// Property: for purely existential QBF with CNF matrix, the QBF oracle
+// agrees with the CDCL solver.
+class QbfVsSatProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QbfVsSatProperty, ExistentialQbfEqualsSat) {
+  std::mt19937 rng(GetParam() * 131 + 7);
+  Qbf q = RandomQbf({8}, /*first_exists=*/true, 25, /*cnf=*/true, &rng);
+  bool oracle = EvaluateQbf(q).value();
+  Solver s;
+  for (int i = 0; i < q.num_vars; ++i) s.NewVar();
+  bool ok = true;
+  for (auto& clause : q.terms) {
+    if (!s.AddClause(clause)) {
+      ok = false;
+      break;
+    }
+  }
+  bool solver_sat = ok && s.Solve() == SolveResult::kSat;
+  EXPECT_EQ(solver_sat, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomExistential, QbfVsSatProperty,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace currency::sat
