@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI-style verification: configure, build everything, and run all test
+# suites from a clean build tree. Exits nonzero on the first failure.
+#
+# Usage: scripts/check.sh [build-dir]    (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+
+cd "$repo_root"
+rm -rf "$build_dir"
+cmake -B "$build_dir" -S .
+cmake --build "$build_dir" -j "$(nproc)"
+cd "$build_dir"
+ctest --output-on-failure -j "$(nproc)"

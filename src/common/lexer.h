@@ -1,6 +1,7 @@
-// A small shared lexer for the two text DSLs in this library (queries and
-// denial constraints).  Produces identifiers, numeric/string literals,
-// punctuation and comparison operators.
+// A small shared lexer for the two text DSLs in this library: FO queries
+// (Section 3, src/query/parser.h) and denial constraints (Section 2.1,
+// src/constraints/parser.h).  Produces identifiers, numeric/string
+// literals, punctuation and comparison operators.
 
 #ifndef CURRENCY_SRC_COMMON_LEXER_H_
 #define CURRENCY_SRC_COMMON_LEXER_H_

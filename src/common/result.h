@@ -1,4 +1,9 @@
 // Result<T>: a value or a Status, in the spirit of arrow::Result.
+//
+// The error-handling half of currency::common (see status.h): all
+// fallible public APIs in the library — parsers, specification
+// validation, decision procedures — return Status or Result<T> rather
+// than throwing.
 
 #ifndef CURRENCY_SRC_COMMON_RESULT_H_
 #define CURRENCY_SRC_COMMON_RESULT_H_

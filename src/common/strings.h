@@ -1,4 +1,6 @@
 // Small string utilities shared across the library (no dependencies).
+// Part of currency::common, the paper-agnostic substrate under all nine
+// modules; nothing here encodes paper semantics.
 
 #ifndef CURRENCY_SRC_COMMON_STRINGS_H_
 #define CURRENCY_SRC_COMMON_STRINGS_H_

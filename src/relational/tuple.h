@@ -1,4 +1,9 @@
 // Tuple: a row of Values conforming to some Schema (EID in position 0).
+//
+// Follows the paper's convention (Section 2) that every relation carries
+// an entity-id attribute identifying the real-world entity a tuple
+// describes; tuples sharing an EID are the "pertain to the same entity"
+// groups that currency orders range over.
 
 #ifndef CURRENCY_SRC_RELATIONAL_TUPLE_H_
 #define CURRENCY_SRC_RELATIONAL_TUPLE_H_

@@ -3,6 +3,10 @@
 // Luby restarts.  Supports incremental solving under assumptions and
 // incremental clause addition between calls — exactly what the currency
 // solvers (CPS/COP/DCIP/CCQA) need.
+//
+// This is the engine realizing the paper's upper bounds (Theorems 3.1,
+// 3.4, 3.5): the NP/Σ₂ᵖ search over consistent completions runs as CDCL
+// on the order encoding from src/core/encoder.h.
 
 #ifndef CURRENCY_SRC_SAT_SOLVER_H_
 #define CURRENCY_SRC_SAT_SOLVER_H_
