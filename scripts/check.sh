@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
-# CI-style verification: configure, build everything, and run all test
-# suites from a clean build tree. Exits nonzero on the first failure.
+# CI-style verification: configure with strict warnings, build everything,
+# and run all test suites from a clean build tree. Exits nonzero on the
+# first failure.
+#
+# -Wall -Wextra -Werror is applied to currency targets only (see
+# CURRENCY_STRICT_WARNINGS in the top-level CMakeLists), so dead-store
+# bugs like an unused conflict-analysis counter fail the build here
+# without holding third-party code to the same bar.
 #
 # Usage: scripts/check.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -10,7 +16,7 @@ build_dir="${1:-build}"
 
 cd "$repo_root"
 rm -rf "$build_dir"
-cmake -B "$build_dir" -S .
+cmake -B "$build_dir" -S . -DCURRENCY_STRICT_WARNINGS=ON
 cmake --build "$build_dir" -j "$(nproc)"
 cd "$build_dir"
 ctest --output-on-failure -j "$(nproc)"

@@ -74,6 +74,15 @@ bool DenialConstraint::ValuePredicatesHold(
 void DenialConstraint::EnumerateGroundings(
     const Relation& relation,
     const std::function<void(const Grounding&)>& emit) const {
+  for (const auto& [eid, members] : relation.EntityGroups()) {
+    (void)eid;
+    EnumerateGroundingsForGroup(relation, members, emit);
+  }
+}
+
+void DenialConstraint::EnumerateGroundingsForGroup(
+    const Relation& relation, const std::vector<TupleId>& members,
+    const std::function<void(const Grounding&)>& emit) const {
   // The lower-bound constructions of the paper use constraints with many
   // tuple variables over one large entity group, so naive |G|^k nested
   // loops are hopeless even for tiny inputs.  We instead backtrack with
@@ -110,10 +119,8 @@ void DenialConstraint::EnumerateGroundings(
     return relation.tuple(assignment[op.tuple_var]).at(op.attr);
   };
 
-  auto groups = relation.EntityGroups();
   std::vector<TupleId> assignment(num_tuple_vars_);
-  for (const auto& [eid, members] : groups) {
-    (void)eid;
+  {
     // Candidate tuples per variable: members passing all unary predicates.
     std::vector<std::vector<TupleId>> candidates(num_tuple_vars_);
     for (int v = 0; v < num_tuple_vars_; ++v) {
@@ -135,7 +142,7 @@ void DenialConstraint::EnumerateGroundings(
     for (const auto& cand : candidates) {
       if (cand.empty()) empty = true;
     }
-    if (empty) continue;
+    if (empty) return;
 
     // Assign variables scarcest-first; schedule each binary predicate at
     // the position where its second variable is assigned.

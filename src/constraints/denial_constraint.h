@@ -115,6 +115,15 @@ class DenialConstraint {
       const Relation& relation,
       const std::function<void(const Grounding&)>& emit) const;
 
+  /// Same, for the single entity group `members` (ids into `relation`).
+  /// All tuple variables of a grounding bind within one entity group, so
+  /// per-group enumeration loses nothing; the decomposition layer uses
+  /// this to ground one coupling component at a time without paying for
+  /// the others.
+  void EnumerateGroundingsForGroup(
+      const Relation& relation, const std::vector<TupleId>& members,
+      const std::function<void(const Grounding&)>& emit) const;
+
   /// True iff the (possibly partial) per-attribute `orders` satisfy the
   /// constraint: every grounding with all premises present has its
   /// conclusion present.  For completed orders this is exactly the paper's

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/decompose.h"
 #include "src/core/sp_ccqa.h"
 #include "src/sat/model_enumerator.h"
 
@@ -66,18 +67,18 @@ Result<std::vector<sat::Lit>> BlockingClause(
   return clause;
 }
 
-/// Conflict-driven certain-membership check: searches for a consistent
-/// completion whose current instance does NOT answer `t`, blocking after
-/// each failed attempt only the cells the witnessed derivation read.
-/// Terminates because every iteration excludes at least the current
-/// projected model; sound and complete per the argument in eval.h.
-Result<bool> CheckCertainMember(const Specification& spec,
-                                const query::Query& q, const Tuple& t,
-                                const std::vector<int>& instances,
-                                const CcqaOptions& options) {
-  Encoder::Options enc = options.encoder;
-  enc.define_is_last = true;
-  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
+/// Conflict-driven certain-membership loop on a prebuilt encoder:
+/// searches for a consistent completion whose current instance does NOT
+/// answer `t`, blocking after each failed attempt only the cells the
+/// witnessed derivation read.  Terminates because every iteration
+/// excludes at least the current projected model; sound and complete per
+/// the argument in eval.h.  The encoder must cover every entity of the
+/// query's instances (a merged component encoder does).
+Result<bool> CheckCertainMemberWith(Encoder* encoder,
+                                    const Specification& spec,
+                                    const query::Query& q, const Tuple& t,
+                                    const std::vector<int>& instances,
+                                    const CcqaOptions& options) {
   int64_t iterations = 0;
   while (encoder->solver().Solve() == sat::SolveResult::kSat) {
     if (++iterations > options.max_current_instances) {
@@ -107,6 +108,129 @@ Result<bool> CheckCertainMember(const Specification& spec,
   return true;  // every completion answers t
 }
 
+/// Certain-membership check.  The decomposed path restricts the blocking
+/// loop to the coupling components the query's instances touch; the other
+/// components only matter through the Mod(S) = ∅ vacuity, which their
+/// per-component consistency decides.
+Result<bool> CheckCertainMember(const Specification& spec,
+                                const query::Query& q, const Tuple& t,
+                                const std::vector<int>& instances,
+                                const CcqaOptions& options) {
+  Encoder::Options enc = options.encoder;
+  enc.define_is_last = true;
+  if (options.use_decomposition) {
+    ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+    std::vector<int> relevant =
+        decomposed->decomposition().ComponentsOfInstances(instances);
+    ASSIGN_OR_RETURN(bool rest_consistent, decomposed->SolveAll(relevant));
+    if (!rest_consistent) return true;  // Mod(S) = ∅: vacuously certain
+    ASSIGN_OR_RETURN(auto encoder, decomposed->BuildMergedEncoder(relevant));
+    return CheckCertainMemberWith(encoder.get(), spec, q, t, instances,
+                                  options);
+  }
+  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
+  return CheckCertainMemberWith(encoder.get(), spec, q, t, instances,
+                                options);
+}
+
+/// Enumerates the distinct current instances of one encoder's formula
+/// (models projected onto the cell variables of `instances`), invoking
+/// `visit` with the decoded relations per projected model; stops early
+/// when `visit` returns false.  Shared by the monolithic enumeration and
+/// the per-component fragment enumeration below.
+Result<int64_t> EnumerateEncoderCurrentInstances(
+    Encoder* encoder, const std::vector<int>& instances, int64_t max_models,
+    const std::function<bool(std::vector<Relation>)>& visit) {
+  std::vector<sat::Var> projection = encoder->CellProjection(instances);
+  Status inner = Status::OK();
+  auto result = sat::EnumerateProjectedModels(
+      &encoder->solver(), projection, max_models,
+      [&](const std::vector<bool>&) {
+        auto decoded = encoder->DecodeCurrentInstances();
+        if (!decoded.ok()) {
+          inner = decoded.status();
+          return false;
+        }
+        return visit(*std::move(decoded));
+      });
+  RETURN_IF_ERROR(inner);
+  return result;
+}
+
+/// Decomposed current-instance enumeration: the distinct current
+/// instances of S are the cartesian product of the per-component current
+/// fragments, so each component is enumerated once (small SAT instances)
+/// and the fragments are recombined without further solving.
+Result<int64_t> ForEachCurrentInstanceDecomposed(
+    const Specification& spec, const Encoder::Options& enc,
+    const CcqaOptions& options,
+    const std::function<bool(const query::Database&)>& visit) {
+  ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+  // A single UNSAT component empties Mod(S); detect that with one cheap
+  // solve per component before enumerating any fragments (a huge earlier
+  // component must not burn the budget when a later one is empty).
+  ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll());
+  if (!consistent) return 0;
+  int num_components = decomposed->num_components();
+  std::vector<int> all;
+  for (int i = 0; i < spec.num_instances(); ++i) all.push_back(i);
+  // fragments[c]: the distinct current fragments of component c, each a
+  // per-instance vector of partial relations.
+  std::vector<std::vector<std::vector<Relation>>> fragments(num_components);
+  for (int c = 0; c < num_components; ++c) {
+    ASSIGN_OR_RETURN(Encoder * encoder, decomposed->ComponentEncoder(c));
+    ASSIGN_OR_RETURN(
+        int64_t enumerated,
+        EnumerateEncoderCurrentInstances(
+            encoder, all, options.max_current_instances,
+            [&](std::vector<Relation> decoded) {
+              fragments[c].push_back(std::move(decoded));
+              return true;
+            }));
+    (void)enumerated;
+    if (fragments[c].empty()) return 0;  // some component UNSAT: Mod(S) = ∅
+  }
+  // Walk the cartesian product (odometer order); an empty component list
+  // — a specification without entities — still has the one empty current
+  // instance, which the odometer's single combination covers.
+  std::vector<size_t> pick(num_components, 0);
+  int64_t count = 0;
+  while (true) {
+    if (count >= options.max_current_instances) {
+      return Status::ResourceExhausted(
+          "model enumeration exceeded " +
+          std::to_string(options.max_current_instances) +
+          " projected models");
+    }
+    std::vector<Relation> merged;
+    merged.reserve(spec.num_instances());
+    for (int i = 0; i < spec.num_instances(); ++i) {
+      merged.emplace_back(spec.instance(i).schema());
+    }
+    for (int c = 0; c < num_components; ++c) {
+      const std::vector<Relation>& fragment = fragments[c][pick[c]];
+      for (int i = 0; i < spec.num_instances(); ++i) {
+        for (const Tuple& tuple : fragment[i].tuples()) {
+          RETURN_IF_ERROR(merged[i].Append(tuple).status());
+        }
+      }
+    }
+    ++count;
+    query::Database db;
+    for (int i = 0; i < spec.num_instances(); ++i) {
+      db[spec.instance(i).name()] = &merged[i];
+    }
+    if (!visit(db)) return count;
+    // Advance the odometer.
+    int c = 0;
+    for (; c < num_components; ++c) {
+      if (++pick[c] < fragments[c].size()) break;
+      pick[c] = 0;
+    }
+    if (c == num_components) return count;
+  }
+}
+
 }  // namespace
 
 Result<int64_t> ForEachCurrentInstance(
@@ -114,27 +238,21 @@ Result<int64_t> ForEachCurrentInstance(
     const std::function<bool(const query::Database&)>& visit) {
   Encoder::Options enc = options.encoder;
   enc.define_is_last = true;
+  if (options.use_decomposition) {
+    return ForEachCurrentInstanceDecomposed(spec, enc, options, visit);
+  }
   ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
   std::vector<int> all;
   for (int i = 0; i < spec.num_instances(); ++i) all.push_back(i);
-  std::vector<sat::Var> projection = encoder->CellProjection(all);
-  Status inner = Status::OK();
-  auto result = sat::EnumerateProjectedModels(
-      &encoder->solver(), projection, options.max_current_instances,
-      [&](const std::vector<bool>&) {
-        auto decoded = encoder->DecodeCurrentInstances();
-        if (!decoded.ok()) {
-          inner = decoded.status();
-          return false;
-        }
+  return EnumerateEncoderCurrentInstances(
+      encoder.get(), all, options.max_current_instances,
+      [&](std::vector<Relation> decoded) {
         query::Database db;
         for (int i = 0; i < spec.num_instances(); ++i) {
-          db[spec.instance(i).name()] = &(*decoded)[i];
+          db[spec.instance(i).name()] = &decoded[i];
         }
         return visit(db);
       });
-  RETURN_IF_ERROR(inner);
-  return result;
 }
 
 Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
@@ -147,23 +265,50 @@ Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
   ASSIGN_OR_RETURN(std::vector<int> instances, QueryInstances(spec, q));
   Encoder::Options enc = options.encoder;
   enc.define_is_last = true;
-  ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
-  if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
-    return Status::Inconsistent(
-        "Mod(S) is empty: every tuple is vacuously a certain answer");
+  // Answer-set loop shared by both encoder arrangements: candidates come
+  // from the seed encoder's first model (certain ⊆ each Q(LST)), then
+  // each candidate gets a certain-membership check on a fresh encoder
+  // (the membership loop mutates it with blocking clauses).
+  auto answers_via =
+      [&](Encoder* seed,
+          const std::function<Result<std::unique_ptr<Encoder>>()>&
+              make_encoder) -> Result<std::set<Tuple>> {
+    if (seed->solver().Solve() == sat::SolveResult::kUnsat) {
+      return Status::Inconsistent(
+          "Mod(S) is empty: every tuple is vacuously a certain answer");
+    }
+    ASSIGN_OR_RETURN(std::vector<Relation> lst,
+                     seed->DecodeCurrentInstances());
+    query::Database db = RestrictTo(spec, instances, lst);
+    ASSIGN_OR_RETURN(std::set<Tuple> candidates, query::EvalQuery(q, db));
+    std::set<Tuple> certain;
+    for (const Tuple& t : candidates) {
+      ASSIGN_OR_RETURN(auto encoder, make_encoder());
+      ASSIGN_OR_RETURN(bool keep,
+                       CheckCertainMemberWith(encoder.get(), spec, q, t,
+                                              instances, options));
+      if (keep) certain.insert(t);
+    }
+    return certain;
+  };
+  if (options.use_decomposition) {
+    ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+    std::vector<int> relevant =
+        decomposed->decomposition().ComponentsOfInstances(instances);
+    // Vacuity of the untouched components, checked once for all
+    // candidates; the touched ones are covered by the merged seed solve.
+    ASSIGN_OR_RETURN(bool rest_consistent, decomposed->SolveAll(relevant));
+    if (!rest_consistent) {
+      return Status::Inconsistent(
+          "Mod(S) is empty: every tuple is vacuously a certain answer");
+    }
+    ASSIGN_OR_RETURN(auto seed, decomposed->BuildMergedEncoder(relevant));
+    return answers_via(seed.get(), [&] {
+      return decomposed->BuildMergedEncoder(relevant);
+    });
   }
-  // Candidates: answers in one current instance (certain ⊆ each Q(LST)).
-  ASSIGN_OR_RETURN(std::vector<Relation> lst,
-                   encoder->DecodeCurrentInstances());
-  query::Database db = RestrictTo(spec, instances, lst);
-  ASSIGN_OR_RETURN(std::set<Tuple> candidates, query::EvalQuery(q, db));
-  std::set<Tuple> certain;
-  for (const Tuple& t : candidates) {
-    ASSIGN_OR_RETURN(bool keep,
-                     CheckCertainMember(spec, q, t, instances, options));
-    if (keep) certain.insert(t);
-  }
-  return certain;
+  ASSIGN_OR_RETURN(auto seed, Encoder::Build(spec, enc));
+  return answers_via(seed.get(), [&] { return Encoder::Build(spec, enc); });
 }
 
 Result<bool> IsCertainCurrentAnswer(const Specification& spec,

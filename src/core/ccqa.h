@@ -29,10 +29,21 @@ namespace currency::core {
 /// Options for the CCQA solvers.
 struct CcqaOptions {
   /// Budget on distinct current instances enumerated by the general path.
+  /// On the decomposed path this additionally bounds every component's
+  /// own fragment count (each is a factor of the product, so a component
+  /// exceeding the budget implies the product does too).
   int64_t max_current_instances = 1'000'000;
   /// Dispatch SP queries on constraint-free specifications to the PTIME
   /// algorithm of Proposition 6.3.
   bool use_sp_fast_path = true;
+  /// Split the SAT path along the coupling graph: certain-membership
+  /// loops run on a merged encoder covering only the components the
+  /// query's instances touch, and current-instance enumeration walks the
+  /// cartesian product of per-component fragments.  Note the product
+  /// walk materializes each component's fragments before visiting any
+  /// combination, so callers that stop early still pay the per-component
+  /// enumeration (never more than the budget above).
+  bool use_decomposition = true;
   Encoder::Options encoder;
 };
 

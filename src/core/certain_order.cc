@@ -2,6 +2,7 @@
 
 #include "src/core/chase.h"
 #include "src/core/consistency.h"
+#include "src/core/decompose.h"
 
 namespace currency::core {
 
@@ -38,6 +39,28 @@ Result<bool> IsCertainOrder(const Specification& spec,
   // General path: Ot pair (u, v) is certain iff the encoding plus the
   // assumption "v ≺ u or incomparable" is unsatisfiable; with totality
   // baked in, that assumption is just ¬ord(u, v).
+  if (options.use_decomposition) {
+    ASSIGN_OR_RETURN(auto decomposed,
+                     DecomposedEncoder::Build(spec, options.encoder));
+    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll());
+    if (!consistent) return true;  // Mod(S) = ∅: vacuously certain
+    for (const RequiredPair& p : query.pairs) {
+      if (p.before == p.after) return false;  // irreflexivity
+      int component = decomposed->decomposition().ComponentOf(
+          inst, rel.tuple(p.before).eid());
+      ASSIGN_OR_RETURN(Encoder * encoder,
+                       decomposed->ComponentEncoder(component));
+      if (!encoder->HasPairVar(inst, p.before, p.after)) {
+        return false;  // cross-entity pairs are never comparable
+      }
+      sat::Lit lit = encoder->OrdLit(inst, p.attr, p.before, p.after);
+      if (encoder->solver().SolveWithAssumptions({sat::Negate(lit)}) ==
+          sat::SolveResult::kSat) {
+        return false;  // a completion orders them the other way
+      }
+    }
+    return true;
+  }
   ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, options.encoder));
   if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
     return true;  // Mod(S) = ∅: vacuously certain

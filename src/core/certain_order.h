@@ -35,6 +35,10 @@ struct CurrencyOrderQuery {
 struct CopOptions {
   /// Use the PTIME PO∞ check when no denial constraints are present.
   bool use_ptime_path_without_constraints = true;
+  /// Split the SAT path along the coupling graph: the Mod(S) = ∅ vacuity
+  /// check solves each small component once, and every queried pair is
+  /// refuted inside the single component owning its entity group.
+  bool use_decomposition = true;
   Encoder::Options encoder;
 };
 

@@ -1,6 +1,9 @@
 #include "src/core/consistency.h"
 
+#include <utility>
+
 #include "src/core/chase.h"
+#include "src/core/decompose.h"
 
 namespace currency::core {
 
@@ -14,6 +17,19 @@ Result<CpsOutcome> DecideConsistency(const Specification& spec,
     ASSIGN_OR_RETURN(ChaseResult chase, ChaseCopyOrders(spec));
     outcome.consistent = chase.consistent;
     outcome.used_ptime_path = true;
+    return outcome;
+  }
+  if (options.use_decomposition) {
+    // Mod(S) factors over coupling components, so S is consistent iff
+    // every component is; SolveAll short-circuits on the first UNSAT one.
+    ASSIGN_OR_RETURN(auto decomposed,
+                     DecomposedEncoder::Build(spec, options.encoder));
+    outcome.components = decomposed->num_components();
+    ASSIGN_OR_RETURN(outcome.consistent, decomposed->SolveAll());
+    if (outcome.consistent && options.want_witness) {
+      ASSIGN_OR_RETURN(Completion witness, decomposed->ExtractCompletion());
+      outcome.witness = std::move(witness);
+    }
     return outcome;
   }
   ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, options.encoder));

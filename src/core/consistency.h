@@ -26,6 +26,11 @@ struct CpsOptions {
   /// Always construct a witness completion (forces the SAT path even when
   /// the chase decides consistency).
   bool want_witness = false;
+  /// Split the SAT path along the coupling graph (src/core/decompose.h):
+  /// one small instance per component, solved smallest-first with an
+  /// early exit on the first UNSAT component.  Disable to force one
+  /// monolithic encoding (ablation / equivalence testing).
+  bool use_decomposition = true;
   Encoder::Options encoder;
 };
 
@@ -36,6 +41,9 @@ struct CpsOutcome {
   std::optional<Completion> witness;
   /// True iff the PTIME chase decided the instance.
   bool used_ptime_path = false;
+  /// Number of coupling components the decomposed SAT path saw (0 when
+  /// the monolithic or chase path answered).
+  int components = 0;
 };
 
 /// Decides whether Mod(S) is non-empty.

@@ -1,0 +1,248 @@
+#include "src/core/decompose.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+namespace currency::core {
+
+namespace {
+
+/// Plain union-find over dense node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Unite(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Result<Decomposition> Decomposition::Build(const Specification& spec) {
+  Decomposition d;
+  d.num_instances_ = spec.num_instances();
+
+  // Nodes: one per (instance, entity) group, densely numbered.
+  std::vector<EntityNode> nodes;
+  d.node_component_.resize(spec.num_instances());
+  std::vector<std::map<Value, int>> node_id(spec.num_instances());
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    for (const auto& [eid, members] : spec.instance(i).relation().EntityGroups()) {
+      (void)members;
+      node_id[i][eid] = static_cast<int>(nodes.size());
+      nodes.push_back(EntityNode{i, eid});
+    }
+  }
+  UnionFind uf(static_cast<int>(nodes.size()));
+
+  // Copy edges: a ≺-compatibility clause arises between two mappings
+  // (t1 ⇐ s1), (t2 ⇐ s2) exactly when t1, t2 share a target entity,
+  // s1, s2 share a source entity, and s1 ≠ s2 (target tuples are always
+  // distinct).  So a (target entity, source entity) bucket couples its
+  // two groups iff it maps from at least two distinct source tuples.
+  for (const CopyEdge& edge : spec.copy_edges()) {
+    if (edge.source_instance < 0 ||
+        edge.source_instance >= spec.num_instances() ||
+        edge.target_instance < 0 ||
+        edge.target_instance >= spec.num_instances()) {
+      return Status::Internal("copy edge references an unknown instance");
+    }
+    const Relation& target = spec.instance(edge.target_instance).relation();
+    const Relation& source = spec.instance(edge.source_instance).relation();
+    std::map<std::pair<Value, Value>, std::set<TupleId>> bucket_sources;
+    for (const auto& [t, s] : edge.fn.mapping()) {
+      if (t < 0 || t >= target.size() || s < 0 || s >= source.size()) {
+        return Status::Internal("copy mapping references an unknown tuple");
+      }
+      bucket_sources[{target.tuple(t).eid(), source.tuple(s).eid()}].insert(s);
+    }
+    for (const auto& [key, sources] : bucket_sources) {
+      if (sources.size() < 2) continue;  // no clause between these groups
+      uf.Unite(node_id[edge.target_instance].at(key.first),
+               node_id[edge.source_instance].at(key.second));
+    }
+  }
+
+  // Grounded denial constraints contribute no edges: in the implemented
+  // constraint language every grounding instantiates all tuple variables
+  // within one entity group (the EID-equality premises are implicit, and
+  // DenialConstraint::EnumerateGroundingsForGroup enforces it
+  // structurally — there is no API that could emit a cross-group
+  // grounding).  A future multi-entity constraint extension must add its
+  // coupling edges here, next to the copy edges above; until then,
+  // scanning groundings would only duplicate the encoders' grounding
+  // work to discover nothing.
+
+  // Components, numbered in first-encounter order of their nodes (nodes
+  // are ordered by instance, then entity value).
+  std::map<int, int> root_component;
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    int root = uf.Find(static_cast<int>(n));
+    auto [it, inserted] =
+        root_component.try_emplace(root, static_cast<int>(d.components_.size()));
+    if (inserted) d.components_.emplace_back();
+    d.components_[it->second].push_back(nodes[n]);
+    d.node_component_[nodes[n].inst][nodes[n].eid] = it->second;
+  }
+
+  d.instance_components_.resize(spec.num_instances());
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    std::set<int> comps;
+    for (const auto& [eid, c] : d.node_component_[i]) {
+      (void)eid;
+      comps.insert(c);
+    }
+    d.instance_components_[i].assign(comps.begin(), comps.end());
+  }
+  return d;
+}
+
+int Decomposition::ComponentOf(int inst, const Value& eid) const {
+  if (inst < 0 || inst >= num_instances_) return -1;
+  auto it = node_component_[inst].find(eid);
+  return it == node_component_[inst].end() ? -1 : it->second;
+}
+
+std::vector<int> Decomposition::ComponentsOfInstances(
+    const std::vector<int>& instances) const {
+  std::set<int> comps;
+  for (int i : instances) {
+    comps.insert(instance_components_[i].begin(),
+                 instance_components_[i].end());
+  }
+  return std::vector<int>(comps.begin(), comps.end());
+}
+
+EntityFilter Decomposition::FilterFor(
+    const std::vector<int>& components) const {
+  EntityFilter filter;
+  filter.allowed.resize(num_instances_);
+  for (int c : components) {
+    for (const EntityNode& node : components_[c]) {
+      filter.allowed[node.inst].insert(node.eid);
+    }
+  }
+  return filter;
+}
+
+Result<std::unique_ptr<DecomposedEncoder>> DecomposedEncoder::Build(
+    const Specification& spec, const Encoder::Options& options) {
+  std::unique_ptr<DecomposedEncoder> de(new DecomposedEncoder());
+  de->spec_ = &spec;
+  de->options_ = options;
+  de->options_.restrict_to = nullptr;  // set per component below
+  de->options_.copy_index = nullptr;   // points into copy_index_ per build
+  de->options_.chase_seed = nullptr;   // points into chase_seed_ per build
+  ASSIGN_OR_RETURN(de->decomposition_, Decomposition::Build(spec));
+  de->copy_index_ = CopyBucketIndex::Build(spec);
+  if (options.seed_with_chase) {
+    // The chase runs over the whole specification; compute it once here
+    // instead of once per component encoder.
+    ASSIGN_OR_RETURN(de->chase_seed_, CertainOrderPrefix(spec));
+  }
+  int n = de->decomposition_.num_components();
+  de->filters_.reserve(n);
+  for (int c = 0; c < n; ++c) {
+    de->filters_.push_back(de->decomposition_.FilterFor({c}));
+  }
+  de->encoders_.resize(n);
+  return de;
+}
+
+Result<Encoder*> DecomposedEncoder::ComponentEncoder(int c) {
+  if (c < 0 || c >= num_components()) {
+    return Status::InvalidArgument("component index out of range");
+  }
+  if (encoders_[c] == nullptr) {
+    Encoder::Options options = options_;
+    options.restrict_to = &filters_[c];
+    options.copy_index = &copy_index_;
+    if (chase_seed_.has_value()) options.chase_seed = &*chase_seed_;
+    ASSIGN_OR_RETURN(encoders_[c], Encoder::Build(*spec_, options));
+  }
+  return encoders_[c].get();
+}
+
+Result<std::unique_ptr<Encoder>> DecomposedEncoder::BuildMergedEncoder(
+    const std::vector<int>& components) const {
+  for (int c : components) {
+    if (c < 0 || c >= num_components()) {
+      return Status::InvalidArgument("component index out of range");
+    }
+  }
+  EntityFilter filter = decomposition_.FilterFor(components);
+  Encoder::Options options = options_;
+  options.restrict_to = &filter;
+  options.copy_index = &copy_index_;
+  if (chase_seed_.has_value()) options.chase_seed = &*chase_seed_;
+  return Encoder::Build(*spec_, options);
+}
+
+Result<bool> DecomposedEncoder::SolveAll(const std::vector<int>& skip) {
+  // Smallest encoding first: an UNSAT answer then costs as little as the
+  // cheapest refuting component allows.  The weight estimates the number
+  // of order variables (Σ m² per node, scaled by data attributes).
+  std::vector<char> skipped(num_components(), 0);
+  for (int c : skip) {
+    if (c >= 0 && c < num_components()) skipped[c] = 1;
+  }
+  std::vector<std::pair<int64_t, int>> order;
+  order.reserve(num_components());
+  for (int c = 0; c < num_components(); ++c) {
+    if (skipped[c]) continue;
+    int64_t weight = 0;
+    for (const EntityNode& node : decomposition_.component(c)) {
+      const TemporalInstance& inst = spec_->instance(node.inst);
+      auto m = static_cast<int64_t>(
+          inst.relation().EntityGroups().at(node.eid).size());
+      weight += m * m * inst.schema().num_data_attributes();
+    }
+    order.emplace_back(weight, c);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [weight, c] : order) {
+    (void)weight;
+    ASSIGN_OR_RETURN(Encoder * encoder, ComponentEncoder(c));
+    if (encoder->solver().Solve() == sat::SolveResult::kUnsat) return false;
+  }
+  return true;
+}
+
+Result<Completion> DecomposedEncoder::ExtractCompletion() const {
+  Completion merged;
+  merged.orders.resize(spec_->num_instances());
+  for (int i = 0; i < spec_->num_instances(); ++i) {
+    const TemporalInstance& inst = spec_->instance(i);
+    merged.orders[i].assign(inst.schema().arity(),
+                            PartialOrder(inst.relation().size()));
+  }
+  for (int c = 0; c < num_components(); ++c) {
+    if (encoders_[c] == nullptr) {
+      return Status::FailedPrecondition(
+          "ExtractCompletion requires a preceding satisfiable SolveAll()");
+    }
+    Completion part = encoders_[c]->ExtractCompletion();
+    for (int i = 0; i < spec_->num_instances(); ++i) {
+      for (size_t a = 1; a < part.orders[i].size(); ++a) {
+        for (auto [u, v] : part.orders[i][a].Pairs()) {
+          merged.orders[i][a].TryAdd(u, v);
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace currency::core

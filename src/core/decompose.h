@@ -1,0 +1,145 @@
+// Entity-component decomposition of the SAT path.
+//
+// Every clause the order-literal encoder emits stays inside one entity
+// group or links exactly two groups through a copy function: transitivity,
+// initial-order units, grounded denial constraints and is-last selectors
+// are per-(instance, entity), and a copy ≺-compatibility implication
+// ord_src(s1,s2) → ord_tgt(t1,t2) couples the source pair's entity group
+// with the target pair's.  The *coupling graph* therefore has one node per
+// (instance, entity) group and one edge per copy-coupled or (in principle)
+// constraint-coupled pair of groups; its connected components are
+// independent sub-specifications whose models multiply:
+//
+//   Mod(S) ≅ Π_c Mod(S|_c)      (c ranges over coupling components)
+//
+// This is the locality the paper's decision problems already have — they
+// quantify over completions of *per-entity* currency orders — made
+// explicit.  The DecomposedEncoder below exploits it:
+//   * CPS: S is consistent iff every component is; solve smallest-first
+//     and short-circuit on the first UNSAT component.
+//   * COP: a pair (u, v) is refuted inside the component owning u's
+//     entity; other components only matter for the Mod(S) = ∅ vacuity.
+//   * DCIP: determinism is checked per entity group against the group's
+//     component encoder.
+//   * CCQA: the distinct current instances of S are the cartesian product
+//     of per-component current fragments; certain-membership checks run
+//     on a merged encoder covering just the components a query touches.
+//
+// Equivalence with the monolithic encoder is property-tested against the
+// brute-force oracle (tests/oracle_invariants_test.cc) and benchmarked in
+// bench/bench_scale_decomposition.cc.
+
+#ifndef CURRENCY_SRC_CORE_DECOMPOSE_H_
+#define CURRENCY_SRC_CORE_DECOMPOSE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/chase.h"
+#include "src/core/completion.h"
+#include "src/core/encoder.h"
+#include "src/core/specification.h"
+
+namespace currency::core {
+
+/// A node of the coupling graph: one entity group of one instance.
+struct EntityNode {
+  int inst = -1;
+  Value eid;
+};
+
+/// The partition of a specification's entity groups into independent
+/// coupling components.  Value-semantic and immutable once built.
+class Decomposition {
+ public:
+  /// An empty decomposition (no components); assign from Build().
+  Decomposition() = default;
+
+  /// Builds the coupling graph and its connected components.  Fails only
+  /// on malformed specifications (unresolvable copy signatures).
+  static Result<Decomposition> Build(const Specification& spec);
+
+  int num_components() const { return static_cast<int>(components_.size()); }
+
+  /// The nodes of component `c`.
+  const std::vector<EntityNode>& component(int c) const {
+    return components_[c];
+  }
+
+  /// Component owning (inst, eid), or -1 when the entity does not occur.
+  int ComponentOf(int inst, const Value& eid) const;
+
+  /// Components owning at least one entity of instance `inst` (sorted).
+  const std::vector<int>& ComponentsOfInstance(int inst) const {
+    return instance_components_[inst];
+  }
+
+  /// Sorted, deduplicated union of ComponentsOfInstance over `instances`.
+  std::vector<int> ComponentsOfInstances(
+      const std::vector<int>& instances) const;
+
+  /// An EntityFilter admitting exactly the nodes of the given components.
+  EntityFilter FilterFor(const std::vector<int>& components) const;
+
+ private:
+  int num_instances_ = 0;
+  std::vector<std::vector<EntityNode>> components_;
+  /// node_component_[i]: eid -> component id, per instance.
+  std::vector<std::map<Value, int>> node_component_;
+  std::vector<std::vector<int>> instance_components_;
+};
+
+/// One small SAT encoder per coupling component, sharing one specification
+/// and one set of encoder options.  Component encoders are built lazily
+/// (CPS may never reach them past the first UNSAT component) and cached;
+/// tuple ids and instance indices remain the specification's own, so the
+/// callers' queries need no translation.
+class DecomposedEncoder {
+ public:
+  static Result<std::unique_ptr<DecomposedEncoder>> Build(
+      const Specification& spec, const Encoder::Options& options);
+
+  const Decomposition& decomposition() const { return decomposition_; }
+  int num_components() const { return decomposition_.num_components(); }
+
+  /// The (cached) encoder of component `c`.
+  Result<Encoder*> ComponentEncoder(int c);
+
+  /// A fresh encoder covering exactly the union of `components` (callers
+  /// own it; it is not cached).  Used by CCQA's certain-membership loop,
+  /// which mutates its encoder with blocking clauses.
+  Result<std::unique_ptr<Encoder>> BuildMergedEncoder(
+      const std::vector<int>& components) const;
+
+  /// Solves every component not listed in `skip`, smallest encoding
+  /// first, short-circuiting on the first UNSAT component.  Returns true
+  /// iff all solved components are satisfiable (each solved encoder then
+  /// holds a model).
+  Result<bool> SolveAll(const std::vector<int>& skip = {});
+
+  /// Merges the per-component witness models into one completion.
+  /// Requires an immediately preceding SolveAll() == true.
+  Result<Completion> ExtractCompletion() const;
+
+ private:
+  DecomposedEncoder() = default;
+
+  const Specification* spec_ = nullptr;
+  Encoder::Options options_;
+  Decomposition decomposition_;
+  /// Copy-bucket index shared by every component build (built once).
+  CopyBucketIndex copy_index_;
+  /// Chase result shared by every component build when the options ask
+  /// for chase seeding (the chase runs over the whole specification).
+  std::optional<ChaseResult> chase_seed_;
+  /// Per-component filters (stable storage for lazily built encoders).
+  std::vector<EntityFilter> filters_;
+  std::vector<std::unique_ptr<Encoder>> encoders_;
+};
+
+}  // namespace currency::core
+
+#endif  // CURRENCY_SRC_CORE_DECOMPOSE_H_

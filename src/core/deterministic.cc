@@ -1,24 +1,38 @@
 #include "src/core/deterministic.h"
 
 #include "src/core/chase.h"
+#include "src/core/decompose.h"
 
 namespace currency::core {
 
 namespace {
 
 /// Shared implementation deciding determinism for one instance index given
-/// an already-built encoder whose formula is satisfiable.
+/// an already-built encoder whose formula was just solved satisfiable (the
+/// model is current).  On a component encoder, only the groups it defines
+/// is-last selectors for are examined — the others belong to different
+/// coupling components and are checked against their own encoders.
 Result<bool> DeterministicViaSat(const Specification& spec, Encoder* encoder,
                                  int inst) {
   const TemporalInstance& instance = spec.instance(inst);
   const Relation& rel = instance.relation();
-  // Baseline: the current values in one model.
-  auto groups = rel.EntityGroups();
+  // Phase 1 — snapshot every baseline from the model in hand, BEFORE any
+  // assumption solve: a kSat call overwrites the model, and nothing in
+  // the solver contract promises it survives a kUnsat call either, so no
+  // baseline may be read after solving resumes.
+  struct Probe {
+    AttrIndex attr;
+    TupleId candidate;
+  };
+  std::vector<Probe> probes;
   for (AttrIndex a = 1; a < instance.schema().arity(); ++a) {
-    for (const auto& [eid, members] : groups) {
+    for (const auto& [eid, members] : rel.EntityGroups()) {
       (void)eid;
       if (members.size() <= 1) continue;
-      // Baseline value: from the most recent model, the selected tuple.
+      if (encoder->IsLastVar(inst, a, members[0]) < 0) {
+        continue;  // another component's group
+      }
+      // Baseline value: the tuple the model selects as most current.
       TupleId baseline = -1;
       for (TupleId u : members) {
         if (encoder->solver().ModelValue(encoder->IsLastVar(inst, a, u))) {
@@ -35,14 +49,17 @@ Result<bool> DeterministicViaSat(const Specification& spec, Encoder* encoder,
       // change the current instance.)
       for (TupleId u : members) {
         if (u == baseline || rel.tuple(u).at(a) == base_value) continue;
-        sat::Lit assume = sat::MakeLit(encoder->IsLastVar(inst, a, u));
-        if (encoder->solver().SolveWithAssumptions({assume}) ==
-            sat::SolveResult::kSat) {
-          return false;
-        }
+        probes.push_back(Probe{a, u});
       }
-      // Note: failed assumption solves leave the last satisfying model in
-      // place, so subsequent groups can keep reading baselines from it.
+    }
+  }
+  // Phase 2 — probe the alternatives.
+  for (const Probe& probe : probes) {
+    sat::Lit assume =
+        sat::MakeLit(encoder->IsLastVar(inst, probe.attr, probe.candidate));
+    if (encoder->solver().SolveWithAssumptions({assume}) ==
+        sat::SolveResult::kSat) {
+      return false;
     }
   }
   return true;
@@ -83,6 +100,20 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
   }
   Encoder::Options enc = options.encoder;
   enc.define_is_last = true;
+  if (options.use_decomposition) {
+    ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll());
+    if (!consistent) return true;  // vacuous
+    // Each entity group's determinism is decided by its own component
+    // (SolveAll left every component encoder holding a model).
+    for (int c : decomposed->decomposition().ComponentsOfInstance(inst)) {
+      ASSIGN_OR_RETURN(Encoder * encoder, decomposed->ComponentEncoder(c));
+      ASSIGN_OR_RETURN(bool deterministic,
+                       DeterministicViaSat(spec, encoder, inst));
+      if (!deterministic) return false;
+    }
+    return true;
+  }
   ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
   if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
     return true;  // vacuous

@@ -21,6 +21,9 @@ namespace currency::core {
 struct DcipOptions {
   /// Use the PTIME sink-agreement check when no denial constraints exist.
   bool use_ptime_path_without_constraints = true;
+  /// Split the SAT path along the coupling graph: every entity group's
+  /// determinism is probed inside its own component encoder.
+  bool use_decomposition = true;
   Encoder::Options encoder;
 };
 

@@ -1,5 +1,8 @@
 #include "src/core/encoder.h"
 
+#include <functional>
+#include <utility>
+
 #include "src/core/chase.h"
 
 namespace currency::core {
@@ -40,17 +43,57 @@ sat::Var Encoder::IsLastVar(int inst, AttrIndex attr, TupleId u) const {
   return is_last_var_[inst][attr][u];
 }
 
+CopyBucketIndex CopyBucketIndex::Build(const Specification& spec) {
+  CopyBucketIndex index;
+  index.per_edge.reserve(spec.copy_edges().size());
+  for (const CopyEdge& edge : spec.copy_edges()) {
+    const Relation& target = spec.instance(edge.target_instance).relation();
+    const Relation& source = spec.instance(edge.source_instance).relation();
+    CopyBuckets buckets;
+    for (const auto& [t, src] : edge.fn.mapping()) {
+      buckets[target.tuple(t).eid()][source.tuple(src).eid()].emplace_back(
+          t, src);
+    }
+    index.per_edge.push_back(std::move(buckets));
+  }
+  return index;
+}
+
 Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
   spec_ = &spec;
   solver_ = std::make_unique<sat::Solver>();
   sat::Solver& s = *solver_;
   pair_base_.resize(spec.num_instances());
+  if (options.restrict_to != nullptr) filter_ = *options.restrict_to;
+  auto keep = [this](int i, const Value& eid) {
+    return !filter_.has_value() || filter_->Contains(i, eid);
+  };
+
+  // 0. Resolve the entity groups this encoder covers, iterating the
+  // filter (not the relations) so a component encoder's build cost is
+  // proportional to its own content.
+  active_groups_.resize(spec.num_instances());
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const auto& groups = spec.instance(i).relation().EntityGroups();
+    if (!filter_.has_value()) {
+      for (const auto& [eid, members] : groups) {
+        active_groups_[i].emplace_back(eid, members);
+      }
+    } else if (i < static_cast<int>(filter_->allowed.size())) {
+      for (const Value& eid : filter_->allowed[i]) {
+        auto it = groups.find(eid);
+        if (it != groups.end()) {
+          active_groups_[i].emplace_back(it->first, it->second);
+        }
+      }
+    }
+  }
 
   // 1. Order variables: one per (same-entity pair, data attribute).
   for (int i = 0; i < spec.num_instances(); ++i) {
     const TemporalInstance& inst = spec.instance(i);
     int data_attrs = inst.schema().num_data_attributes();
-    for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+    for (const auto& [eid, members] : active_groups_[i]) {
       (void)eid;
       for (size_t x = 0; x < members.size(); ++x) {
         for (size_t y = x + 1; y < members.size(); ++y) {
@@ -67,7 +110,7 @@ Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
   // 2. Transitivity: ord(u,v) ∧ ord(v,w) → ord(u,w) for ordered triples.
   for (int i = 0; i < spec.num_instances(); ++i) {
     const TemporalInstance& inst = spec.instance(i);
-    for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+    for (const auto& [eid, members] : active_groups_[i]) {
       (void)eid;
       if (members.size() < 3) continue;
       for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
@@ -87,54 +130,119 @@ Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
   }
 
   // 3. Initial partial orders (or the chase's strengthening of them).
-  std::vector<std::vector<PartialOrder>> initial;
+  // Borrowed, not copied: a PartialOrder is an O(n²) bit matrix, and a
+  // per-component build must not pay for the whole instance.
+  std::optional<ChaseResult> local_chase;
+  const ChaseResult* chase = options.chase_seed;
+  bool seed_with_chase = false;
   if (options.seed_with_chase) {
     // The full certain prefix (chase + denial Horn closure): every derived
     // pair holds in all consistent completions, so adding them as units is
-    // sound and strengthens propagation.
-    ASSIGN_OR_RETURN(ChaseResult chase, CertainOrderPrefix(spec));
-    if (!chase.consistent) {
+    // sound and strengthens propagation.  The chase runs over the whole
+    // specification, so the decomposition layer precomputes it once
+    // (options.chase_seed) instead of once per component.
+    if (chase == nullptr) {
+      ASSIGN_OR_RETURN(local_chase, CertainOrderPrefix(spec));
+      chase = &*local_chase;
+    }
+    if (!chase->consistent) {
       // Encode inconsistency directly: empty clause.
       s.AddClause({});
-      initial.clear();
     } else {
-      initial = std::move(chase.certain_orders);
+      seed_with_chase = true;
     }
   }
-  if (initial.empty()) {
-    for (int i = 0; i < spec.num_instances(); ++i) {
-      initial.push_back(spec.instance(i).orders());
-    }
-  }
+  // Initial orders only relate same-entity tuples (TemporalInstance::
+  // AddOrder and the chase both enforce this), so walking entity groups
+  // and probing Less covers every pair — in Σ m² instead of the n²/64
+  // full-matrix scan of Pairs(), which matters when a filtered encoder is
+  // built once per component.
   for (int i = 0; i < spec.num_instances(); ++i) {
     const TemporalInstance& inst = spec.instance(i);
-    for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
-      for (auto [u, v] : initial[i][a].Pairs()) {
-        if (!HasPairVar(i, u, v)) {
-          return Status::Internal(
-              "initial order relates tuples of different entities");
+    const std::vector<PartialOrder>& initial =
+        seed_with_chase ? chase->certain_orders[i] : inst.orders();
+    for (const auto& [eid, members] : active_groups_[i]) {
+      (void)eid;
+      for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+        const PartialOrder& po = initial[a];
+        for (TupleId u : members) {
+          for (TupleId v : members) {
+            if (u == v || !po.Less(u, v)) continue;
+            s.AddClause({OrdLit(i, a, u, v)});
+          }
         }
-        s.AddClause({OrdLit(i, a, u, v)});
       }
     }
   }
 
-  // 4. Copy ≺-compatibility: ord_src(s1,s2) → ord_tgt(t1,t2).
-  for (const CopyEdge& edge : spec.copy_edges()) {
+  // 4. Copy ≺-compatibility: ord_src(s1,s2) → ord_tgt(t1,t2).  Clauses
+  // only arise between mappings agreeing on both the target and the
+  // source entity, so encoding walks (target entity, source entity)
+  // buckets — Σ |bucket|² instead of |ρ|² work.  A filtered encoder only
+  // visits buckets of its own target entities; the decomposition layer
+  // shares one prebuilt index across all component builds.
+  std::optional<CopyBucketIndex> local_index;
+  const CopyBucketIndex* copy_index = options.copy_index;
+  if (copy_index == nullptr) {
+    local_index = CopyBucketIndex::Build(spec);
+    copy_index = &*local_index;
+  }
+  if (copy_index->per_edge.size() != spec.copy_edges().size()) {
+    return Status::Internal("copy-bucket index does not match the spec");
+  }
+  for (size_t edge_index = 0; edge_index < spec.copy_edges().size();
+       ++edge_index) {
+    const CopyEdge& edge = spec.copy_edges()[edge_index];
     const Relation& target = spec.instance(edge.target_instance).relation();
     const Relation& source = spec.instance(edge.source_instance).relation();
     ASSIGN_OR_RETURN(auto attrs,
                      edge.fn.ResolveAttrs(target.schema(), source.schema()));
-    for (const auto& [t1, s1] : edge.fn.mapping()) {
-      for (const auto& [t2, s2] : edge.fn.mapping()) {
-        if (t1 == t2 || s1 == s2) continue;
-        if (!(target.tuple(t1).eid() == target.tuple(t2).eid())) continue;
-        if (!(source.tuple(s1).eid() == source.tuple(s2).eid())) continue;
-        for (const auto& [a, b] : attrs) {
-          s.AddClause(
-              {sat::Negate(OrdLit(edge.source_instance, b, s1, s2)),
-               OrdLit(edge.target_instance, a, t1, t2)});
+    const CopyBuckets& buckets = copy_index->per_edge[edge_index];
+    auto encode_bucket =
+        [&](const Value& te,
+            const std::map<Value, std::vector<std::pair<TupleId, TupleId>>>&
+                by_source) -> Status {
+      bool t_in = keep(edge.target_instance, te);
+      for (const auto& [se, mapped] : by_source) {
+        bool s_in = keep(edge.source_instance, se);
+        for (size_t x = 0; x < mapped.size(); ++x) {
+          for (size_t y = 0; y < mapped.size(); ++y) {
+            auto [t1, s1] = mapped[x];
+            auto [t2, s2] = mapped[y];
+            if (t1 == t2 || s1 == s2) continue;
+            // A clause couples the two entity groups, so a valid
+            // decomposition filter keeps either both or neither.
+            if (t_in != s_in) {
+              return Status::Internal(
+                  "entity filter splits a copy-coupled entity pair");
+            }
+            if (!t_in) continue;
+            for (const auto& [a, b] : attrs) {
+              s.AddClause(
+                  {sat::Negate(OrdLit(edge.source_instance, b, s1, s2)),
+                   OrdLit(edge.target_instance, a, t1, t2)});
+            }
+          }
         }
+      }
+      return Status::OK();
+    };
+    if (filter_.has_value()) {
+      // Walk the filter's target entities only.  Buckets whose target
+      // entity lies outside the filter but whose source entity is inside
+      // cannot couple (the decomposition would have merged them), so
+      // skipping them is sound.
+      if (edge.target_instance <
+          static_cast<int>(filter_->allowed.size())) {
+        for (const Value& te : filter_->allowed[edge.target_instance]) {
+          auto it = buckets.find(te);
+          if (it == buckets.end()) continue;
+          RETURN_IF_ERROR(encode_bucket(it->first, it->second));
+        }
+      }
+    } else {
+      for (const auto& [te, by_source] : buckets) {
+        RETURN_IF_ERROR(encode_bucket(te, by_source));
       }
     }
   }
@@ -142,9 +250,15 @@ Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
   // 5. Grounded denial constraints.
   if (options.ground_denial_constraints) {
     for (int i = 0; i < spec.num_instances(); ++i) {
+      const Relation& rel = spec.instance(i).relation();
+      // All tuple variables of a grounding bind within one entity group,
+      // so grounding per active group loses nothing and skips the other
+      // components' grounding work entirely.
       for (const auto& dc : spec.constraints_for(i)) {
-        dc.EnumerateGroundings(
-            spec.instance(i).relation(),
+        for (const auto& [eid, group_members] : active_groups_[i]) {
+          (void)eid;
+          dc.EnumerateGroundingsForGroup(
+            rel, group_members,
             [&](const constraints::Grounding& g) {
               std::vector<sat::Lit> clause;
               clause.reserve(g.premises.size() + 1);
@@ -159,6 +273,7 @@ Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
               }
               s.AddClause(std::move(clause));
             });
+        }
       }
     }
   }
@@ -173,7 +288,7 @@ Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
       is_last_var_[i].assign(
           inst.schema().arity(),
           std::vector<sat::Var>(inst.relation().size(), -1));
-      for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+      for (const auto& [eid, members] : active_groups_[i]) {
         for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
           for (TupleId u : members) {
             sat::Var lv = s.NewVar();
@@ -257,7 +372,7 @@ Result<std::vector<Relation>> Encoder::DecodeCurrentInstances() const {
   for (int i = 0; i < spec_->num_instances(); ++i) {
     const TemporalInstance& inst = spec_->instance(i);
     Relation lst(inst.schema());
-    for (const auto& [eid, members] : inst.relation().EntityGroups()) {
+    for (const auto& [eid, members] : active_groups_[i]) {
       (void)members;
       std::vector<Value> values(inst.schema().arity());
       values[0] = eid;

@@ -22,6 +22,8 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "src/common/result.h"
@@ -30,6 +32,39 @@
 #include "src/sat/solver.h"
 
 namespace currency::core {
+
+struct ChaseResult;
+
+/// A per-instance whitelist of entity groups.  The decomposition layer
+/// (src/core/decompose.h) passes one of these per coupling-graph component
+/// to carve a small per-component SAT instance out of a specification.
+struct EntityFilter {
+  /// allowed[i]: entities of instance i to keep.  Instances beyond the
+  /// vector's size keep nothing.
+  std::vector<std::set<Value>> allowed;
+
+  bool Contains(int inst, const Value& eid) const {
+    return inst >= 0 && inst < static_cast<int>(allowed.size()) &&
+           allowed[inst].count(eid) > 0;
+  }
+};
+
+/// Copy-function mappings bucketed by entity pair: for one copy edge,
+/// buckets[target_eid][source_eid] lists the mapped (target, source)
+/// tuple pairs.  ≺-compatibility clauses only arise inside a bucket, so
+/// encoding walks buckets instead of the |ρ|² mapping square — and a
+/// filtered encoder walks only its own target entities.
+using CopyBuckets =
+    std::map<Value, std::map<Value, std::vector<std::pair<TupleId, TupleId>>>>;
+
+/// Bucket indexes for every copy edge of a specification, in
+/// spec.copy_edges() order.  The decomposition layer builds this once and
+/// shares it across all per-component encoder builds.
+struct CopyBucketIndex {
+  std::vector<CopyBuckets> per_edge;
+
+  static CopyBucketIndex Build(const Specification& spec);
+};
 
 /// Builds and owns the SAT encoding of a specification.
 class Encoder {
@@ -43,6 +78,18 @@ class Encoder {
     bool seed_with_chase = false;
     /// Create the is-last selector variables (needed by CCQA and DCIP).
     bool define_is_last = true;
+    /// When set, encode only the listed entity groups.  The filter must be
+    /// closed under copy coupling (Build fails otherwise); the pointed-to
+    /// filter is copied at Build time and not retained.
+    const EntityFilter* restrict_to = nullptr;
+    /// Optional shared copy-bucket index (see CopyBucketIndex); when null
+    /// the encoder builds its own.  Read only during Build, not retained.
+    const CopyBucketIndex* copy_index = nullptr;
+    /// Optional precomputed chase result for seed_with_chase; when null
+    /// the encoder runs the (whole-specification) chase itself.  The
+    /// decomposition layer computes it once and shares it across all
+    /// component builds.  Read only during Build, not retained.
+    const ChaseResult* chase_seed = nullptr;
   };
 
   /// Builds the encoding.  Fails only on malformed specifications; an
@@ -93,7 +140,9 @@ class Encoder {
                                 const Value& v) const;
 
   /// Decodes the solver's current model into current instances, one
-  /// Relation per instance (valid right after a kSat Solve call).
+  /// Relation per instance (valid right after a kSat Solve call).  On a
+  /// filtered encoder, only the filter's entities appear in the output
+  /// (the relations of untouched instances may be partial or empty).
   Result<std::vector<Relation>> DecodeCurrentInstances() const;
 
   /// Extracts the completion from the solver's current model (valid right
@@ -110,6 +159,15 @@ class Encoder {
 
   const Specification* spec_ = nullptr;
   std::unique_ptr<sat::Solver> solver_;
+  /// Copy of options.restrict_to (when given): the encoding covers only
+  /// these entity groups.
+  std::optional<EntityFilter> filter_;
+  /// The entity groups this encoder covers, per instance — the filter's
+  /// groups, or all of them.  Build and decode iterate this instead of
+  /// the relations, so a component encoder costs O(its own content)
+  /// rather than O(specification).
+  std::vector<std::vector<std::pair<Value, std::vector<TupleId>>>>
+      active_groups_;
   /// pair_var_[inst][key(u,v)] with u < v canonical.
   std::vector<std::map<std::pair<TupleId, TupleId>, int>> pair_base_;
   /// Var id = base + (attr - 1); one var per data attribute per pair.

@@ -12,6 +12,7 @@ Result<TupleId> Relation::Append(Tuple tuple) {
         " does not match schema " + schema_.ToString());
   }
   tuples_.push_back(std::move(tuple));
+  entity_groups_.reset();
   return static_cast<TupleId>(tuples_.size() - 1);
 }
 
@@ -21,12 +22,15 @@ std::vector<Value> Relation::Entities() const {
   return std::vector<Value>(seen.begin(), seen.end());
 }
 
-std::map<Value, std::vector<TupleId>> Relation::EntityGroups() const {
-  std::map<Value, std::vector<TupleId>> groups;
-  for (TupleId id = 0; id < size(); ++id) {
-    groups[tuples_[id].eid()].push_back(id);
+const std::map<Value, std::vector<TupleId>>& Relation::EntityGroups() const {
+  if (entity_groups_ == nullptr) {
+    auto groups = std::make_shared<std::map<Value, std::vector<TupleId>>>();
+    for (TupleId id = 0; id < size(); ++id) {
+      (*groups)[tuples_[id].eid()].push_back(id);
+    }
+    entity_groups_ = std::move(groups);
   }
-  return groups;
+  return *entity_groups_;
 }
 
 std::vector<TupleId> Relation::TuplesOf(const Value& eid) const {

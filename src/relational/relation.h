@@ -6,6 +6,7 @@
 #define CURRENCY_SRC_RELATIONAL_RELATION_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -47,8 +48,12 @@ class Relation {
   /// Distinct entity ids appearing in the instance, in Value order.
   std::vector<Value> Entities() const;
 
-  /// Tuple ids grouped by entity: eid -> sorted tuple ids.
-  std::map<Value, std::vector<TupleId>> EntityGroups() const;
+  /// Tuple ids grouped by entity: eid -> sorted tuple ids.  Cached: the
+  /// grouping is computed once and invalidated by Append, so hot paths
+  /// (the encoder visits it several times per build, the decomposition
+  /// layer once per component) pay O(1) after the first call.  The
+  /// reference is invalidated by the next Append.
+  const std::map<Value, std::vector<TupleId>>& EntityGroups() const;
 
   /// Tuple ids pertaining to `eid` (empty if the entity is absent).
   std::vector<TupleId> TuplesOf(const Value& eid) const;
@@ -65,6 +70,10 @@ class Relation {
  private:
   Schema schema_;
   std::vector<Tuple> tuples_;
+  /// Lazily built entity grouping; shared (never mutated) so Relation
+  /// stays cheaply copyable, reset on Append.
+  mutable std::shared_ptr<const std::map<Value, std::vector<TupleId>>>
+      entity_groups_;
 };
 
 }  // namespace currency

@@ -39,7 +39,13 @@ std::string LitToString(Lit l);
 struct Clause {
   std::vector<Lit> lits;
   bool learnt = false;
+  /// Bumped when the clause participates in conflict analysis; learnt
+  /// clauses with low activity are candidates for deletion (ReduceDB).
   double activity = 0.0;
+  /// Literal block distance at learn time: number of distinct decision
+  /// levels among the clause's literals.  Low-LBD ("glue") clauses are
+  /// never deleted.
+  int lbd = 0;
 };
 
 }  // namespace currency::sat

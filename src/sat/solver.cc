@@ -143,6 +143,93 @@ void Solver::BumpVar(Var v) {
   order_heap_.emplace(activity_[v], v);
 }
 
+void Solver::BumpClause(int ci) {
+  Clause& c = clauses_[ci];
+  c.activity += cla_inc_;
+  if (c.activity > 1e100) {
+    for (Clause& other : clauses_) {
+      if (other.learnt) other.activity *= 1e-100;
+    }
+    cla_inc_ *= 1e-100;
+  }
+}
+
+int Solver::LearntLbd(const std::vector<Lit>& learnt) {
+  // Must run before backjumping: the literals' levels are still current.
+  lbd_seen_.assign(static_cast<size_t>(DecisionLevel()) + 1, 0);
+  int lbd = 0;
+  for (Lit l : learnt) {
+    int lv = level_[LitVar(l)];
+    if (!lbd_seen_[lv]) {
+      lbd_seen_[lv] = 1;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::MaybeReduceDB() {
+  // Let the learnt store grow with the problem (a third of the original
+  // clauses) before pruning, and raise the bar after every reduction so
+  // long runs converge instead of thrashing.
+  int64_t problem_clauses = static_cast<int64_t>(clauses_.size()) - num_learnts_;
+  int64_t limit = std::max(max_learnts_, problem_clauses / 3);
+  if (num_learnts_ <= limit) return;
+  ReduceDB();
+  max_learnts_ += max_learnts_ / 2;
+}
+
+void Solver::ReduceDB() {
+  if (DecisionLevel() != 0) return;
+  // Locked clauses are the reason of a (level-0) trail literal; deleting
+  // one would dangle reason_.
+  std::vector<char> locked(clauses_.size(), 0);
+  for (Lit l : trail_) {
+    int r = reason_[LitVar(l)];
+    if (r >= 0) locked[r] = 1;
+  }
+  // Deletable: learnt, not locked, longer than binary, not glue.
+  std::vector<int> candidates;
+  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
+    const Clause& c = clauses_[ci];
+    if (c.learnt && !locked[ci] && c.lits.size() > 2 && c.lbd > 2) {
+      candidates.push_back(ci);
+    }
+  }
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<char> remove(clauses_.size(), 0);
+  size_t target = candidates.size() / 2;
+  for (size_t k = 0; k < target; ++k) remove[candidates[k]] = 1;
+  if (target == 0) return;
+  // Compact the clause arena, remap the reasons of the level-0 trail
+  // (only locked clauses are reasons, and locked clauses survive), and
+  // rebuild the watch lists — Attach re-watches each clause's first two
+  // literals, which is exactly the watch invariant Propagate maintains.
+  std::vector<int> remap(clauses_.size(), -1);
+  size_t out = 0;
+  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (remove[ci]) continue;
+    remap[ci] = static_cast<int>(out);
+    if (out != ci) clauses_[out] = std::move(clauses_[ci]);
+    ++out;
+  }
+  clauses_.resize(out);
+  for (Lit l : trail_) {
+    int& r = reason_[LitVar(l)];
+    if (r >= 0) r = remap[r];
+  }
+  for (auto& watch_list : watches_) watch_list.clear();
+  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+    Attach(static_cast<int>(ci));
+  }
+  num_learnts_ -= static_cast<int64_t>(target);
+  stats_.deleted_clauses += static_cast<int64_t>(target);
+  ++stats_.reductions;
+}
+
 int Solver::Analyze(int conflict_clause, std::vector<Lit>* learnt) {
   learnt->clear();
   learnt->push_back(kLitUndef);  // placeholder for the asserting literal
@@ -151,6 +238,7 @@ int Solver::Analyze(int conflict_clause, std::vector<Lit>* learnt) {
   int index = static_cast<int>(trail_.size()) - 1;
   int ci = conflict_clause;
   do {
+    if (clauses_[ci].learnt) BumpClause(ci);
     const Clause& c = clauses_[ci];
     for (size_t i = (p == kLitUndef ? 0 : 1); i < c.lits.size(); ++i) {
       Lit q = c.lits[i];
@@ -229,6 +317,10 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
     ok_ = false;
     return SolveResult::kUnsat;
   }
+  // Incremental workloads (model enumeration, per-pair COP probes) can
+  // accumulate learnt clauses across many conflict-light calls that never
+  // restart, so the reduction check must also run between calls.
+  MaybeReduceDB();
 
   int restart_count = 0;
   int64_t conflicts_until_restart =
@@ -245,29 +337,29 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
         ok_ = false;
         return SolveResult::kUnsat;
       }
-      // A conflict inside the assumption prefix means the assumptions are
-      // jointly inconsistent with the formula: analyze as usual, but if we
-      // would need to undo an assumption, report UNSAT for this call.
+      // A conflict while assumptions are on the trail needs no special
+      // analysis: Analyze/backjump as usual (possibly into or below the
+      // assumption prefix), and let the decision loop below re-push the
+      // undone assumptions.  If the learnt clause (or its propagations)
+      // falsified an assumption, the re-push finds it with value < 0 and
+      // reports UNSAT for this call — the same outcome MiniSat reaches
+      // via its analyzeFinal guard, without a separate code path.  The
+      // metamorphic property test in tests/sat_test.cc checks this
+      // against adding the assumptions as unit clauses to a fresh solver.
       int bj = Analyze(confl, &learnt);
-      int assumed_levels = 0;
-      // Count how many decision levels correspond to still-active
-      // assumptions (they occupy the lowest levels by construction).
-      assumed_levels = std::min<int>(static_cast<int>(assumptions.size()),
-                                     DecisionLevel());
+      int lbd = LearntLbd(learnt);  // before backjumping: levels current
       CancelUntil(std::max(bj, 0));
       if (learnt.size() == 1) {
         CancelUntil(0);
         UncheckedEnqueue(learnt[0], -1);
       } else {
-        clauses_.push_back(Clause{learnt, true, 0.0});
+        clauses_.push_back(Clause{learnt, true, cla_inc_, lbd});
         ++stats_.learnt_clauses;
+        ++num_learnts_;
         Attach(static_cast<int>(clauses_.size()) - 1);
         UncheckedEnqueue(learnt[0], static_cast<int>(clauses_.size()) - 1);
       }
       DecayActivities();
-      // If we backjumped below the assumption prefix, the assumptions will
-      // be re-pushed by the decision loop below.
-      (void)assumed_levels;
       if (conflicts_this_restart >= conflicts_until_restart) {
         ++stats_.restarts;
         ++restart_count;
@@ -275,6 +367,7 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
         conflicts_until_restart =
             static_cast<int64_t>(100 * Luby(2.0, restart_count));
         CancelUntil(0);
+        MaybeReduceDB();
       }
       continue;
     }

@@ -1,8 +1,9 @@
 // A compact CDCL SAT solver: two-watched-literal propagation, 1UIP clause
-// learning with backjumping, VSIDS-style activities with phase saving, and
-// Luby restarts.  Supports incremental solving under assumptions and
-// incremental clause addition between calls — exactly what the currency
-// solvers (CPS/COP/DCIP/CCQA) need.
+// learning with backjumping, VSIDS-style activities with phase saving,
+// Luby restarts, and activity/LBD-guided learnt-clause deletion.  Supports
+// incremental solving under assumptions and incremental clause addition
+// between calls — exactly what the currency solvers (CPS/COP/DCIP/CCQA)
+// need.
 //
 // This is the engine realizing the paper's upper bounds (Theorems 3.1,
 // 3.4, 3.5): the NP/Σ₂ᵖ search over consistent completions runs as CDCL
@@ -29,6 +30,8 @@ struct SolverStats {
   int64_t conflicts = 0;
   int64_t restarts = 0;
   int64_t learnt_clauses = 0;
+  int64_t deleted_clauses = 0;
+  int64_t reductions = 0;
 };
 
 /// A CDCL solver.  Typical use:
@@ -94,7 +97,24 @@ class Solver {
   /// Picks the next branching literal (VSIDS + saved phase), or kLitUndef.
   Lit PickBranchLit();
   void BumpVar(Var v);
-  void DecayActivities() { var_inc_ /= 0.95; }
+  void BumpClause(int ci);
+  void DecayActivities() {
+    var_inc_ /= 0.95;
+    cla_inc_ /= 0.999;
+  }
+  /// Literal block distance of a freshly learnt clause: the number of
+  /// distinct decision levels among its literals.
+  int LearntLbd(const std::vector<Lit>& learnt);
+  /// Deletes the lowest-activity half of the deletable learnt clauses
+  /// (keeping locked reason clauses, binaries, and low-LBD glue), then
+  /// compacts the clause arena and rebuilds the watch lists.  Requires
+  /// decision level 0 with propagation complete.  Without this, learnt
+  /// clauses and the model enumerator's long blocking-clause runs
+  /// (DCIP/CCQA) degrade propagation and memory without bound.
+  void ReduceDB();
+  /// Runs ReduceDB when the learnt-clause count exceeds the adaptive
+  /// limit, growing the limit after each reduction.
+  void MaybeReduceDB();
   /// Luby sequence value for restart scheduling.
   static double Luby(double y, int x);
 
@@ -112,9 +132,15 @@ class Solver {
   std::vector<int> trail_lim_;
   size_t qhead_ = 0;
   double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  int64_t num_learnts_ = 0;
+  /// Learnt-clause count that triggers the next ReduceDB; adapted as the
+  /// formula grows and after each reduction.
+  int64_t max_learnts_ = 512;
   std::priority_queue<std::pair<double, Var>> order_heap_;
   std::vector<int8_t> model_;
   std::vector<int8_t> seen_;     // scratch for Analyze
+  std::vector<char> lbd_seen_;   // scratch for LearntLbd
   SolverStats stats_;
 };
 

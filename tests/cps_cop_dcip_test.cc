@@ -280,6 +280,38 @@ TEST(DcipTest, EqualValuesKeepDeterminism) {
   EXPECT_TRUE(BruteForceDeterministic(spec, "R").value());
 }
 
+TEST(DcipTest, BaselinesSnapshottedBeforeAssumptionSolves) {
+  // Regression guard for the baseline-read protocol of DeterministicViaSat:
+  // group e1 is deterministic (its alternative probes come back UNSAT),
+  // group e2 is not.  The e2 baseline used to be read from the solver's
+  // model AFTER e1's failed assumption solves, silently relying on UNSAT
+  // calls preserving the model; baselines are now snapshotted before any
+  // probe, so this answers correctly even with a solver that clears its
+  // model on UNSAT.  Monolithic mode keeps both groups in one encoder,
+  // which is the arrangement that exercised the stale-model read.
+  Specification spec;
+  Schema rs = Schema::Make("R", {"A"}).value();
+  Relation r(rs);
+  ASSERT_TRUE(r.AppendValues({Value("e1"), Value(1)}).ok());  // 0
+  ASSERT_TRUE(r.AppendValues({Value("e1"), Value(2)}).ok());  // 1
+  ASSERT_TRUE(r.AppendValues({Value("e2"), Value(1)}).ok());  // 2
+  ASSERT_TRUE(r.AppendValues({Value("e2"), Value(2)}).ok());  // 3
+  TemporalInstance inst(std::move(r));
+  ASSERT_TRUE(inst.AddOrder(1, 0, 1).ok());  // e1 pinned: 1 ≺ 2
+  ASSERT_TRUE(spec.AddInstance(std::move(inst)).ok());
+
+  for (bool decomposed : {false, true}) {
+    DcipOptions options;
+    options.use_ptime_path_without_constraints = false;  // force SAT path
+    options.use_decomposition = decomposed;
+    SCOPED_TRACE(decomposed ? "decomposed" : "monolithic");
+    auto det = IsDeterministicForRelation(spec, "R", options);
+    ASSERT_TRUE(det.ok()) << det.status();
+    EXPECT_FALSE(*det);  // e2 is free in both directions
+    EXPECT_FALSE(BruteForceDeterministic(spec, "R").value());
+  }
+}
+
 // Property sweep: solver answers equal the brute-force oracle on random
 // specifications, with and without copy functions / constraints, for all
 // three problems.

@@ -108,6 +108,101 @@ TEST(SolverTest, IncrementalAddBetweenSolves) {
   EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
 }
 
+TEST(SolverTest, AssumptionConflictInsidePrefix) {
+  // a → b → c; assuming {a, ¬c} the conflict only appears after the first
+  // assumption's propagation reaches c — inside the assumption prefix,
+  // before any free decision.
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  Var c = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a, true), MakeLit(b)}));
+  ASSERT_TRUE(s.AddClause({MakeLit(b, true), MakeLit(c)}));
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(a), MakeLit(c, true)}),
+            SolveResult::kUnsat);
+  // The conflict was assumption-local: the formula is not poisoned.
+  EXPECT_FALSE(s.IsUnsatForever());
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(c, true)}), SolveResult::kSat);
+  EXPECT_FALSE(s.ModelValue(a));
+}
+
+TEST(SolverTest, ContradictoryAssumptionList) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a), MakeLit(b)}));
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(a), MakeLit(a, true)}),
+            SolveResult::kUnsat);
+  EXPECT_FALSE(s.IsUnsatForever());
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, AssumptionConflictRequiresLearning) {
+  // Binary constraints force a genuine conflict analysis while both
+  // assumptions sit on the trail: (¬a ∨ ¬b) with assumptions {a, b}.
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a, true), MakeLit(b, true)}));
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(a), MakeLit(b)}),
+            SolveResult::kUnsat);
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(a)}), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+  EXPECT_FALSE(s.ModelValue(b));
+}
+
+TEST(SolverTest, AssumptionConflictAfterLearntClauses) {
+  // Accumulate learnt clauses with a hard UNSAT sub-formula reachable
+  // only under an activation assumption, then check that assumption
+  // conflicts still resolve correctly against the learnt store.
+  const int pigeons = 4, holes = 3;
+  Solver s;
+  Var gate = s.NewVar();
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) x[p][h] = s.NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c{MakeLit(gate, true)};
+    for (int h = 0; h < holes; ++h) c.push_back(MakeLit(x[p][h]));
+    ASSERT_TRUE(s.AddClause(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        ASSERT_TRUE(s.AddClause({MakeLit(x[p1][h], true),
+                                 MakeLit(x[p2][h], true)}));
+      }
+    }
+  }
+  // Gated: UNSAT under the assumption, SAT without it, repeatably.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(s.SolveWithAssumptions({MakeLit(gate)}), SolveResult::kUnsat);
+    EXPECT_FALSE(s.IsUnsatForever());
+    EXPECT_EQ(s.Solve(), SolveResult::kSat);
+  }
+}
+
+TEST(SolverTest, ModelSurvivesUnsatAssumptionCall) {
+  // DeterministicViaSat used to read baselines from the model after a
+  // failed assumption solve; it now snapshots up front, but the solver
+  // keeping the last satisfying model across kUnsat assumption calls is
+  // worth pinning down so a regression is visible here and not as a
+  // subtle downstream wrong answer.
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a)}));
+  ASSERT_TRUE(s.AddClause({MakeLit(a, true), MakeLit(b)}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  ASSERT_TRUE(s.ModelValue(a));
+  ASSERT_TRUE(s.ModelValue(b));
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(b, true)}), SolveResult::kUnsat);
+  EXPECT_TRUE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b));
+}
+
 // Reference DPLL-free evaluator: checks a CNF against an assignment.
 bool CnfSatisfied(const std::vector<std::vector<Lit>>& cnf,
                   const Solver& solver) {
@@ -188,6 +283,123 @@ TEST_P(SolverRandomProperty, AgreesWithBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Random3Cnf, SolverRandomProperty,
                          ::testing::Range(0, 60));
+
+// Metamorphic property: solving under assumptions must agree with a fresh
+// solver that receives the same assumptions as unit clauses.  Several
+// assumption sets run against ONE incremental solver, so the learnt
+// clauses of earlier calls (including assumption-prefix conflicts) are in
+// play for later ones.
+class AssumptionMetamorphicProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssumptionMetamorphicProperty, MatchesUnitClauseSolver) {
+  std::mt19937 rng(GetParam() * 50021 + 99);
+  const int num_vars = 8;
+  std::uniform_int_distribution<int> nclauses_dist(5, 40);
+  std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  std::uniform_int_distribution<int> nassume_dist(1, 4);
+  std::vector<std::vector<Lit>> cnf;
+  int num_clauses = nclauses_dist(rng);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(MakeLit(var_dist(rng), sign_dist(rng) == 1));
+    }
+    cnf.push_back(clause);
+  }
+  Solver incremental;
+  for (int i = 0; i < num_vars; ++i) incremental.NewVar();
+  bool base_ok = true;
+  for (auto& clause : cnf) {
+    if (!incremental.AddClause(clause)) {
+      base_ok = false;
+      break;
+    }
+  }
+  if (!base_ok) return;  // UNSAT at level 0: nothing to assume about
+  const bool formula_sat = BruteForceSat(num_vars, cnf);
+
+  for (int round = 0; round < 8; ++round) {
+    // Random assumption list; duplicate and contradictory literals are
+    // deliberately possible.
+    std::vector<Lit> assumptions;
+    int n = nassume_dist(rng);
+    for (int i = 0; i < n; ++i) {
+      assumptions.push_back(MakeLit(var_dist(rng), sign_dist(rng) == 1));
+    }
+    // Reference: fresh solver, assumptions as units.
+    Solver fresh;
+    for (int i = 0; i < num_vars; ++i) fresh.NewVar();
+    bool fresh_ok = true;
+    for (auto& clause : cnf) {
+      if (!fresh.AddClause(clause)) {
+        fresh_ok = false;
+        break;
+      }
+    }
+    ASSERT_TRUE(fresh_ok);
+    for (Lit a : assumptions) {
+      if (!fresh.AddClause({a})) {
+        fresh_ok = false;
+        break;
+      }
+    }
+    bool expect_sat = fresh_ok && fresh.Solve() == SolveResult::kSat;
+
+    SolveResult got = incremental.SolveWithAssumptions(assumptions);
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
+                 " round=" + std::to_string(round));
+    EXPECT_EQ(got == SolveResult::kSat, expect_sat);
+    // Assumption conflicts must not poison the solver — only a genuinely
+    // unsatisfiable formula may.
+    if (formula_sat) {
+      EXPECT_FALSE(incremental.IsUnsatForever());
+    }
+    if (got == SolveResult::kSat) {
+      EXPECT_TRUE(CnfSatisfied(cnf, incremental));
+      for (Lit a : assumptions) {
+        bool v = incremental.ModelValue(LitVar(a));
+        EXPECT_EQ(LitIsNeg(a) ? !v : v, true) << "assumption not honoured";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AssumptionMetamorphicProperty,
+                         ::testing::Range(0, 40));
+
+TEST(SolverTest, LearntClauseDeletionKeepsAnswersAndFrees) {
+  // A hard UNSAT instance accumulates far more learnt clauses than the
+  // reduction threshold; the reduction must fire without changing the
+  // answer, and repeated solving afterwards must stay correct.
+  const int pigeons = 7, holes = 6;
+  Solver s;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) x[p][h] = s.NewVar();
+  }
+  Var gate = s.NewVar();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c{MakeLit(gate, true)};
+    for (int h = 0; h < holes; ++h) c.push_back(MakeLit(x[p][h]));
+    ASSERT_TRUE(s.AddClause(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        ASSERT_TRUE(s.AddClause({MakeLit(x[p1][h], true),
+                                 MakeLit(x[p2][h], true)}));
+      }
+    }
+  }
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(gate)}), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().learnt_clauses, 512);
+  EXPECT_GT(s.stats().reductions, 0);
+  EXPECT_GT(s.stats().deleted_clauses, 0);
+  // Still correct in both directions after reductions.
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(gate)}), SolveResult::kUnsat);
+}
 
 TEST(ModelEnumeratorTest, EnumeratesAllProjectedModels) {
   Solver s;
