@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # CI-style verification: configure with strict warnings, build everything,
-# and run all test suites from a clean build tree. Exits nonzero on the
-# first failure.
+# run all test suites from a clean build tree, then re-run the threading
+# tests under ThreadSanitizer. Exits nonzero on the first failure.
 #
 # -Wall -Wextra -Werror is applied to currency targets only (see
 # CURRENCY_STRICT_WARNINGS in the top-level CMakeLists), so dead-store
 # bugs like an unused conflict-analysis counter fail the build here
 # without holding third-party code to the same bar.
+#
+# The TSan pass (CURRENCY_TSAN, a separate build tree) rebuilds only the
+# test suites that exercise the parallel exec layer and runs the two that
+# matter — exec_test (thread-pool semantics) and parallel_equivalence_test
+# (CPS/COP/DCIP/CCQA across thread counts) — so data races in the
+# decomposed solvers fail CI even on hardware where they never misbehave.
 #
 # Usage: scripts/check.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -18,5 +24,15 @@ cd "$repo_root"
 rm -rf "$build_dir"
 cmake -B "$build_dir" -S . -DCURRENCY_STRICT_WARNINGS=ON
 cmake --build "$build_dir" -j "$(nproc)"
-cd "$build_dir"
-ctest --output-on-failure -j "$(nproc)"
+(cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+
+tsan_dir="${build_dir}-tsan"
+rm -rf "$tsan_dir"
+cmake -B "$tsan_dir" -S . \
+  -DCURRENCY_TSAN=ON \
+  -DCURRENCY_BUILD_BENCHMARKS=OFF \
+  -DCURRENCY_BUILD_EXAMPLES=OFF
+cmake --build "$tsan_dir" -j "$(nproc)" \
+  --target exec_test parallel_equivalence_test
+"$tsan_dir/tests/exec_test"
+"$tsan_dir/tests/parallel_equivalence_test"

@@ -4,6 +4,7 @@
 
 #include "src/core/decompose.h"
 #include "src/core/sp_ccqa.h"
+#include "src/exec/thread_pool.h"
 #include "src/sat/model_enumerator.h"
 
 namespace currency::core {
@@ -122,7 +123,9 @@ Result<bool> CheckCertainMember(const Specification& spec,
     ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
     std::vector<int> relevant =
         decomposed->decomposition().ComponentsOfInstances(instances);
-    ASSIGN_OR_RETURN(bool rest_consistent, decomposed->SolveAll(relevant));
+    exec::ThreadPool pool(options.num_threads);
+    ASSIGN_OR_RETURN(bool rest_consistent,
+                     decomposed->SolveAll(relevant, &pool));
     if (!rest_consistent) return true;  // Mod(S) = ∅: vacuously certain
     ASSIGN_OR_RETURN(auto encoder, decomposed->BuildMergedEncoder(relevant));
     return CheckCertainMemberWith(encoder.get(), spec, q, t, instances,
@@ -136,9 +139,10 @@ Result<bool> CheckCertainMember(const Specification& spec,
 /// Enumerates the distinct current instances of one encoder's formula
 /// (models projected onto the cell variables of `instances`), invoking
 /// `visit` with the decoded relations per projected model; stops early
-/// when `visit` returns false.  Shared by the monolithic enumeration and
-/// the per-component fragment enumeration below.
-Result<int64_t> EnumerateEncoderCurrentInstances(
+/// when `visit` returns false (reported as `stopped` in the outcome).
+/// Shared by the monolithic enumeration and the per-component fragment
+/// enumeration below.
+Result<sat::ProjectedModelEnumeration> EnumerateEncoderCurrentInstances(
     Encoder* encoder, const std::vector<int>& instances, int64_t max_models,
     const std::function<bool(std::vector<Relation>)>& visit) {
   std::vector<sat::Var> projection = encoder->CellProjection(instances);
@@ -149,7 +153,7 @@ Result<int64_t> EnumerateEncoderCurrentInstances(
         auto decoded = encoder->DecodeCurrentInstances();
         if (!decoded.ok()) {
           inner = decoded.status();
-          return false;
+          return false;  // surfaces through `inner`, not as a user stop
         }
         return visit(*std::move(decoded));
       });
@@ -166,28 +170,54 @@ Result<int64_t> ForEachCurrentInstanceDecomposed(
     const CcqaOptions& options,
     const std::function<bool(const query::Database&)>& visit) {
   ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+  exec::ThreadPool pool(options.num_threads);
   // A single UNSAT component empties Mod(S); detect that with one cheap
   // solve per component before enumerating any fragments (a huge earlier
   // component must not burn the budget when a later one is empty).
-  ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll());
+  ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, &pool));
   if (!consistent) return 0;
   int num_components = decomposed->num_components();
   std::vector<int> all;
   for (int i = 0; i < spec.num_instances(); ++i) all.push_back(i);
   // fragments[c]: the distinct current fragments of component c, each a
-  // per-instance vector of partial relations.
+  // per-instance vector of partial relations.  Components enumerate
+  // concurrently — each task mutates only its own component encoder (the
+  // blocking clauses it adds stay confined there) and fills only its own
+  // fragments slot, so every component's fragment list and order is the
+  // one the sequential loop computes.  Task outcomes land in per-index
+  // slots and are aggregated below in component order, which reproduces
+  // the sequential loop's first-error/first-empty semantics: ParallelFor
+  // claims indices in increasing order, so tasks skipped by cancellation
+  // always form a suffix behind the genuine cause.
+  std::vector<Status> component_status(num_components, Status::OK());
   std::vector<std::vector<std::vector<Relation>>> fragments(num_components);
-  for (int c = 0; c < num_components; ++c) {
-    ASSIGN_OR_RETURN(Encoder * encoder, decomposed->ComponentEncoder(c));
-    ASSIGN_OR_RETURN(
-        int64_t enumerated,
-        EnumerateEncoderCurrentInstances(
-            encoder, all, options.max_current_instances,
+  exec::CancellationToken cancel;
+  RETURN_IF_ERROR(pool.ParallelFor(
+      num_components,
+      [&](int c) -> Status {
+        auto encoder = decomposed->ComponentEncoder(c);
+        if (!encoder.ok()) {
+          component_status[c] = encoder.status();
+          cancel.Cancel();
+          return Status::OK();
+        }
+        auto enumerated = EnumerateEncoderCurrentInstances(
+            *encoder, all, options.max_current_instances,
             [&](std::vector<Relation> decoded) {
               fragments[c].push_back(std::move(decoded));
               return true;
-            }));
-    (void)enumerated;
+            });
+        if (!enumerated.ok()) {
+          component_status[c] = enumerated.status();
+          cancel.Cancel();
+        } else if (fragments[c].empty()) {
+          cancel.Cancel();  // component UNSAT: Mod(S) = ∅, answered below
+        }
+        return Status::OK();
+      },
+      &cancel));
+  for (int c = 0; c < num_components; ++c) {
+    RETURN_IF_ERROR(component_status[c]);
     if (fragments[c].empty()) return 0;  // some component UNSAT: Mod(S) = ∅
   }
   // Walk the cartesian product (odometer order); an empty component list
@@ -244,15 +274,17 @@ Result<int64_t> ForEachCurrentInstance(
   ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
   std::vector<int> all;
   for (int i = 0; i < spec.num_instances(); ++i) all.push_back(i);
-  return EnumerateEncoderCurrentInstances(
-      encoder.get(), all, options.max_current_instances,
-      [&](std::vector<Relation> decoded) {
-        query::Database db;
-        for (int i = 0; i < spec.num_instances(); ++i) {
-          db[spec.instance(i).name()] = &decoded[i];
-        }
-        return visit(db);
-      });
+  ASSIGN_OR_RETURN(sat::ProjectedModelEnumeration enumeration,
+                   EnumerateEncoderCurrentInstances(
+                       encoder.get(), all, options.max_current_instances,
+                       [&](std::vector<Relation> decoded) {
+                         query::Database db;
+                         for (int i = 0; i < spec.num_instances(); ++i) {
+                           db[spec.instance(i).name()] = &decoded[i];
+                         }
+                         return visit(db);
+                       }));
+  return enumeration.models;
 }
 
 Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
@@ -297,7 +329,9 @@ Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
         decomposed->decomposition().ComponentsOfInstances(instances);
     // Vacuity of the untouched components, checked once for all
     // candidates; the touched ones are covered by the merged seed solve.
-    ASSIGN_OR_RETURN(bool rest_consistent, decomposed->SolveAll(relevant));
+    exec::ThreadPool pool(options.num_threads);
+    ASSIGN_OR_RETURN(bool rest_consistent,
+                     decomposed->SolveAll(relevant, &pool));
     if (!rest_consistent) {
       return Status::Inconsistent(
           "Mod(S) is empty: every tuple is vacuously a certain answer");

@@ -44,6 +44,12 @@ struct CcqaOptions {
   /// combination, so callers that stop early still pay the per-component
   /// enumeration (never more than the budget above).
   bool use_decomposition = true;
+  /// Threads for the decomposed path: consistency pre-solves and the
+  /// per-component current-fragment enumerations run concurrently (the
+  /// certain-membership blocking loop itself stays sequential — it works
+  /// one merged encoder).  1 (the default) runs sequentially; answers,
+  /// counts and enumeration order are bit-identical for every value.
+  int num_threads = 1;
   Encoder::Options encoder;
 };
 

@@ -1,8 +1,13 @@
 #include "src/core/certain_order.h"
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "src/core/chase.h"
 #include "src/core/consistency.h"
 #include "src/core/decompose.h"
+#include "src/exec/thread_pool.h"
 
 namespace currency::core {
 
@@ -42,22 +47,60 @@ Result<bool> IsCertainOrder(const Specification& spec,
   if (options.use_decomposition) {
     ASSIGN_OR_RETURN(auto decomposed,
                      DecomposedEncoder::Build(spec, options.encoder));
-    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll());
+    exec::ThreadPool pool(options.num_threads);
+    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, &pool));
     if (!consistent) return true;  // Mod(S) = ∅: vacuously certain
+    // A reflexive pair is refuted structurally — no solver involved, so
+    // answer first (the SAT probes below could only also answer false).
     for (const RequiredPair& p : query.pairs) {
       if (p.before == p.after) return false;  // irreflexivity
+    }
+    // Group the pairs by owning component, preserving query order within
+    // each group: pairs of one component probe one solver sequentially
+    // (its call sequence — and thus its learnt-clause state — is the same
+    // for every thread count), while distinct components are refuted in
+    // parallel.  SolveAll above built and solved every component, so
+    // ComponentEncoder below is a cached read.
+    std::map<int, std::vector<const RequiredPair*>> by_component;
+    for (const RequiredPair& p : query.pairs) {
       int component = decomposed->decomposition().ComponentOf(
           inst, rel.tuple(p.before).eid());
-      ASSIGN_OR_RETURN(Encoder * encoder,
-                       decomposed->ComponentEncoder(component));
-      if (!encoder->HasPairVar(inst, p.before, p.after)) {
-        return false;  // cross-entity pairs are never comparable
-      }
-      sat::Lit lit = encoder->OrdLit(inst, p.attr, p.before, p.after);
-      if (encoder->solver().SolveWithAssumptions({sat::Negate(lit)}) ==
-          sat::SolveResult::kSat) {
-        return false;  // a completion orders them the other way
-      }
+      by_component[component].push_back(&p);
+    }
+    std::vector<std::pair<int, const std::vector<const RequiredPair*>*>>
+        groups;
+    groups.reserve(by_component.size());
+    for (const auto& [component, pairs] : by_component) {
+      groups.emplace_back(component, &pairs);
+    }
+    std::vector<char> refuted(groups.size(), 0);
+    exec::CancellationToken cancel;
+    RETURN_IF_ERROR(pool.ParallelFor(
+        static_cast<int>(groups.size()),
+        [&](int k) -> Status {
+          ASSIGN_OR_RETURN(Encoder * encoder,
+                           decomposed->ComponentEncoder(groups[k].first));
+          for (const RequiredPair* p : *groups[k].second) {
+            if (!encoder->HasPairVar(inst, p->before, p->after)) {
+              // Cross-entity pairs are never comparable.
+              refuted[k] = 1;
+              cancel.Cancel();
+              return Status::OK();
+            }
+            sat::Lit lit = encoder->OrdLit(inst, p->attr, p->before, p->after);
+            if (encoder->solver().SolveWithAssumptions({sat::Negate(lit)}) ==
+                sat::SolveResult::kSat) {
+              // A completion orders them the other way.
+              refuted[k] = 1;
+              cancel.Cancel();
+              return Status::OK();
+            }
+          }
+          return Status::OK();
+        },
+        &cancel));
+    for (char r : refuted) {
+      if (r) return false;
     }
     return true;
   }

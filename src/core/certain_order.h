@@ -39,6 +39,12 @@ struct CopOptions {
   /// check solves each small component once, and every queried pair is
   /// refuted inside the single component owning its entity group.
   bool use_decomposition = true;
+  /// Threads for the decomposed path: the vacuity check solves components
+  /// concurrently, then the queried pairs are refuted in parallel per
+  /// owning component (pairs sharing a component stay in query order on
+  /// that component's solver).  1 (the default) runs sequentially; the
+  /// answer is bit-identical for every value.
+  int num_threads = 1;
   Encoder::Options encoder;
 };
 

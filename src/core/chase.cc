@@ -1,5 +1,9 @@
 #include "src/core/chase.h"
 
+#include <optional>
+
+#include "src/core/encoder.h"
+
 namespace currency::core {
 
 namespace {
@@ -59,9 +63,36 @@ struct EdgePlan {
   std::vector<MappedPair> pairs;
 };
 
-Result<std::vector<EdgePlan>> BuildEdgePlans(const Specification& spec) {
+Result<std::vector<EdgePlan>> BuildEdgePlans(const Specification& spec,
+                                             const CopyBucketIndex* shared) {
   std::vector<EdgePlan> plans;
-  for (const CopyEdge& edge : spec.copy_edges()) {
+  // Mapped pairs only arise between two mappings agreeing on both the
+  // target and the source entity, so expand (target entity, source
+  // entity) buckets — Σ |bucket|² work — instead of the |ρ|² double loop
+  // over the raw mapping.  The bucket index is the same one the encoder
+  // walks (CopyBucketIndex, built per edge in spec.copy_edges() order),
+  // so the decomposition layer hands its prebuilt copy down instead of
+  // bucketing the mappings a second time.  The pair SET is identical to
+  // the raw double loop's, only its order differs (bucket-grouped
+  // instead of target-id-lexicographic), which the chase fixpoint is
+  // insensitive to: the closure is a least fixpoint of monotone rules,
+  // so certain_orders and consistency never depend on application order
+  // (tests/encoder_chase_test.cc proves this against a quadratic
+  // reference; only the pass counter may differ).
+  std::optional<CopyBucketIndex> local;
+  if (shared == nullptr) {
+    local = CopyBucketIndex::Build(spec);
+    shared = &*local;
+  } else if (shared->per_edge.size() != spec.copy_edges().size()) {
+    // Same loud failure the encoder gives a foreign index (the size check
+    // is the only validation there is — silently rebuilding would mask a
+    // caller bug).
+    return Status::Internal("copy-bucket index does not match the spec");
+  }
+  const CopyBucketIndex& index = *shared;
+  for (size_t edge_index = 0; edge_index < spec.copy_edges().size();
+       ++edge_index) {
+    const CopyEdge& edge = spec.copy_edges()[edge_index];
     EdgePlan plan;
     plan.source = edge.source_instance;
     plan.target = edge.target_instance;
@@ -69,12 +100,16 @@ Result<std::vector<EdgePlan>> BuildEdgePlans(const Specification& spec) {
     const Relation& source = spec.instance(edge.source_instance).relation();
     ASSIGN_OR_RETURN(plan.attrs,
                      edge.fn.ResolveAttrs(target.schema(), source.schema()));
-    for (const auto& [t1, s1] : edge.fn.mapping()) {
-      for (const auto& [t2, s2] : edge.fn.mapping()) {
-        if (t1 == t2 || s1 == s2) continue;
-        if (!(target.tuple(t1).eid() == target.tuple(t2).eid())) continue;
-        if (!(source.tuple(s1).eid() == source.tuple(s2).eid())) continue;
-        plan.pairs.push_back(MappedPair{t1, t2, s1, s2});
+    for (const auto& [te, by_source] : index.per_edge[edge_index]) {
+      (void)te;
+      for (const auto& [se, mapped] : by_source) {
+        (void)se;
+        for (const auto& [t1, s1] : mapped) {
+          for (const auto& [t2, s2] : mapped) {
+            if (t1 == t2 || s1 == s2) continue;
+            plan.pairs.push_back(MappedPair{t1, t2, s1, s2});
+          }
+        }
       }
     }
     plans.push_back(std::move(plan));
@@ -116,13 +151,15 @@ bool CopyPropagationPass(const std::vector<EdgePlan>& plans,
   return changed;
 }
 
-Result<ChaseResult> RunChase(const Specification& spec, bool with_denials) {
+Result<ChaseResult> RunChase(const Specification& spec, bool with_denials,
+                             const CopyBucketIndex* copy_index) {
   ChaseResult result;
   result.certain_orders.reserve(spec.num_instances());
   for (int i = 0; i < spec.num_instances(); ++i) {
     result.certain_orders.push_back(spec.instance(i).orders());
   }
-  ASSIGN_OR_RETURN(std::vector<EdgePlan> plans, BuildEdgePlans(spec));
+  ASSIGN_OR_RETURN(std::vector<EdgePlan> plans,
+                   BuildEdgePlans(spec, copy_index));
   bool inconsistent = false;
   bool changed = true;
   while (changed && !inconsistent) {
@@ -143,12 +180,14 @@ Result<ChaseResult> RunChase(const Specification& spec, bool with_denials) {
 
 }  // namespace
 
-Result<ChaseResult> ChaseCopyOrders(const Specification& spec) {
-  return RunChase(spec, /*with_denials=*/false);
+Result<ChaseResult> ChaseCopyOrders(const Specification& spec,
+                                    const CopyBucketIndex* copy_index) {
+  return RunChase(spec, /*with_denials=*/false, copy_index);
 }
 
-Result<ChaseResult> CertainOrderPrefix(const Specification& spec) {
-  return RunChase(spec, /*with_denials=*/true);
+Result<ChaseResult> CertainOrderPrefix(const Specification& spec,
+                                       const CopyBucketIndex* copy_index) {
+  return RunChase(spec, /*with_denials=*/true, copy_index);
 }
 
 }  // namespace currency::core

@@ -20,6 +20,8 @@
 
 namespace currency::core {
 
+struct CopyBucketIndex;  // src/core/encoder.h
+
 /// Result of the copy-order chase.
 struct ChaseResult {
   /// False iff a cyclic order requirement was derived (Mod(S) = ∅
@@ -36,7 +38,14 @@ struct ChaseResult {
 /// Runs the chase.  Fails (error Status) only on malformed specifications
 /// (unresolvable copy signatures); an inconsistent-but-well-formed
 /// specification yields consistent == false.
-Result<ChaseResult> ChaseCopyOrders(const Specification& spec);
+///
+/// `copy_index` optionally supplies a prebuilt CopyBucketIndex for the
+/// specification (the same one the encoder shares); when null the chase
+/// buckets the copy mappings itself.  Read during set-up only, not
+/// retained.
+Result<ChaseResult> ChaseCopyOrders(const Specification& spec,
+                                    const CopyBucketIndex* copy_index =
+                                        nullptr);
 
 /// Chase + denial-constraint Horn closure: additionally fires every
 /// grounded denial constraint whose order premises are already certain,
@@ -46,7 +55,9 @@ Result<ChaseResult> ChaseCopyOrders(const Specification& spec);
 /// certainty is coNP-hard (Theorem 3.4) — but it shrinks search spaces
 /// dramatically (used to seed the SAT encoder and the brute-force oracle).
 /// Without denial constraints it coincides with ChaseCopyOrders.
-Result<ChaseResult> CertainOrderPrefix(const Specification& spec);
+Result<ChaseResult> CertainOrderPrefix(const Specification& spec,
+                                       const CopyBucketIndex* copy_index =
+                                           nullptr);
 
 }  // namespace currency::core
 

@@ -4,6 +4,7 @@
 
 #include "src/core/chase.h"
 #include "src/core/decompose.h"
+#include "src/exec/thread_pool.h"
 
 namespace currency::core {
 
@@ -21,11 +22,13 @@ Result<CpsOutcome> DecideConsistency(const Specification& spec,
   }
   if (options.use_decomposition) {
     // Mod(S) factors over coupling components, so S is consistent iff
-    // every component is; SolveAll short-circuits on the first UNSAT one.
+    // every component is; SolveAll short-circuits on the first UNSAT one
+    // (and, with num_threads > 1, solves components concurrently).
     ASSIGN_OR_RETURN(auto decomposed,
                      DecomposedEncoder::Build(spec, options.encoder));
     outcome.components = decomposed->num_components();
-    ASSIGN_OR_RETURN(outcome.consistent, decomposed->SolveAll());
+    exec::ThreadPool pool(options.num_threads);
+    ASSIGN_OR_RETURN(outcome.consistent, decomposed->SolveAll({}, &pool));
     if (outcome.consistent && options.want_witness) {
       ASSIGN_OR_RETURN(Completion witness, decomposed->ExtractCompletion());
       outcome.witness = std::move(witness);

@@ -31,6 +31,11 @@ struct CpsOptions {
   /// early exit on the first UNSAT component.  Disable to force one
   /// monolithic encoding (ablation / equivalence testing).
   bool use_decomposition = true;
+  /// Threads for the decomposed path (src/exec/thread_pool.h): components
+  /// are solved concurrently with first-UNSAT cancellation.  Counts the
+  /// calling thread; 1 (the default) runs strictly sequentially.  Answers
+  /// and witnesses are bit-identical for every value.
+  int num_threads = 1;
   Encoder::Options encoder;
 };
 

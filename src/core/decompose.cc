@@ -145,12 +145,19 @@ Result<std::unique_ptr<DecomposedEncoder>> DecomposedEncoder::Build(
   de->options_.restrict_to = nullptr;  // set per component below
   de->options_.copy_index = nullptr;   // points into copy_index_ per build
   de->options_.chase_seed = nullptr;   // points into chase_seed_ per build
+  // Decomposition::Build touches every instance's EntityGroups(), which
+  // warms the Relation-level lazy cache before any parallel work begins;
+  // from here on the specification, the decomposition, the copy index and
+  // the chase seed are read-only shared state (see the header's thread-
+  // confinement contract).
   ASSIGN_OR_RETURN(de->decomposition_, Decomposition::Build(spec));
   de->copy_index_ = CopyBucketIndex::Build(spec);
   if (options.seed_with_chase) {
     // The chase runs over the whole specification; compute it once here
-    // instead of once per component encoder.
-    ASSIGN_OR_RETURN(de->chase_seed_, CertainOrderPrefix(spec));
+    // instead of once per component encoder, sharing the bucket index
+    // just built rather than bucketing the copy mappings again.
+    ASSIGN_OR_RETURN(de->chase_seed_,
+                     CertainOrderPrefix(spec, &de->copy_index_));
   }
   int n = de->decomposition_.num_components();
   de->filters_.reserve(n);
@@ -190,7 +197,8 @@ Result<std::unique_ptr<Encoder>> DecomposedEncoder::BuildMergedEncoder(
   return Encoder::Build(*spec_, options);
 }
 
-Result<bool> DecomposedEncoder::SolveAll(const std::vector<int>& skip) {
+Result<bool> DecomposedEncoder::SolveAll(const std::vector<int>& skip,
+                                         exec::ThreadPool* pool) {
   // Smallest encoding first: an UNSAT answer then costs as little as the
   // cheapest refuting component allows.  The weight estimates the number
   // of order variables (Σ m² per node, scaled by data attributes).
@@ -212,10 +220,32 @@ Result<bool> DecomposedEncoder::SolveAll(const std::vector<int>& skip) {
     order.emplace_back(weight, c);
   }
   std::sort(order.begin(), order.end());
-  for (const auto& [weight, c] : order) {
-    (void)weight;
-    ASSIGN_OR_RETURN(Encoder * encoder, ComponentEncoder(c));
-    if (encoder->solver().Solve() == sat::SolveResult::kUnsat) return false;
+  // One task per component, claimed smallest-first, with cooperative
+  // first-UNSAT cancellation.  Each task builds and solves only its own
+  // component encoder (thread confinement; see the header), so every
+  // component's model is the same one the sequential path would compute.
+  // Cancellation only skips components whose results no caller observes:
+  // the answer is already false, and ExtractCompletion is reachable only
+  // off a satisfiable (uncancelled, fully solved) run.  Without threads
+  // ParallelFor degenerates to the plain smallest-first loop with its
+  // first-UNSAT early exit — one implementation covers both modes.
+  exec::ThreadPool sequential(1);
+  if (pool == nullptr) pool = &sequential;
+  std::vector<char> unsat(order.size(), 0);
+  exec::CancellationToken cancel;
+  RETURN_IF_ERROR(pool->ParallelFor(
+      static_cast<int>(order.size()),
+      [&](int k) -> Status {
+        ASSIGN_OR_RETURN(Encoder * encoder, ComponentEncoder(order[k].second));
+        if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
+          unsat[k] = 1;
+          cancel.Cancel();
+        }
+        return Status::OK();
+      },
+      &cancel));
+  for (char u : unsat) {
+    if (u) return false;
   }
   return true;
 }

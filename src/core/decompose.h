@@ -42,6 +42,7 @@
 #include "src/core/completion.h"
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
+#include "src/exec/thread_pool.h"
 
 namespace currency::core {
 
@@ -97,6 +98,18 @@ class Decomposition {
 /// (CPS may never reach them past the first UNSAT component) and cached;
 /// tuple ids and instance indices remain the specification's own, so the
 /// callers' queries need no translation.
+///
+/// Thread confinement: after Build returns, every shared member — the
+/// specification (including each Relation's entity-group cache, warmed by
+/// Decomposition::Build), the options, the Decomposition, the
+/// CopyBucketIndex, the chase seed, and the per-component filters — is
+/// read-only.  Each component's Encoder (and its sat::Solver) is mutable
+/// state confined to whichever single task currently works on that
+/// component, so ComponentEncoder may be called concurrently for
+/// *distinct* components (each task builds into and solves its own
+/// `encoders_[c]` slot), but never for the same component from two
+/// threads.  SolveAll's parallel path enforces this by giving each task
+/// exactly one component.
 class DecomposedEncoder {
  public:
   static Result<std::unique_ptr<DecomposedEncoder>> Build(
@@ -118,7 +131,16 @@ class DecomposedEncoder {
   /// first, short-circuiting on the first UNSAT component.  Returns true
   /// iff all solved components are satisfiable (each solved encoder then
   /// holds a model).
-  Result<bool> SolveAll(const std::vector<int>& skip = {});
+  ///
+  /// When `pool` is given and has more than one thread, components are
+  /// solved concurrently (one task per component, claimed smallest-first)
+  /// with cooperative first-UNSAT cancellation.  The answer — and, on a
+  /// satisfiable specification, every per-component witness model — is
+  /// bit-identical to the sequential path for every thread count: each
+  /// component's encoder sees exactly the same build and the same single
+  /// Solve call either way.
+  Result<bool> SolveAll(const std::vector<int>& skip = {},
+                        exec::ThreadPool* pool = nullptr);
 
   /// Merges the per-component witness models into one completion.
   /// Requires an immediately preceding SolveAll() == true.

@@ -1,7 +1,10 @@
 #include "src/core/deterministic.h"
 
+#include <vector>
+
 #include "src/core/chase.h"
 #include "src/core/decompose.h"
+#include "src/exec/thread_pool.h"
 
 namespace currency::core {
 
@@ -102,15 +105,33 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
   enc.define_is_last = true;
   if (options.use_decomposition) {
     ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
-    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll());
+    exec::ThreadPool pool(options.num_threads);
+    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, &pool));
     if (!consistent) return true;  // vacuous
     // Each entity group's determinism is decided by its own component
-    // (SolveAll left every component encoder holding a model).
-    for (int c : decomposed->decomposition().ComponentsOfInstance(inst)) {
-      ASSIGN_OR_RETURN(Encoder * encoder, decomposed->ComponentEncoder(c));
-      ASSIGN_OR_RETURN(bool deterministic,
-                       DeterministicViaSat(spec, encoder, inst));
-      if (!deterministic) return false;
+    // (SolveAll left every component encoder holding a model), so the
+    // groups probe concurrently — one task per component, cancelling the
+    // rest once any witness of non-determinism is found.
+    const std::vector<int>& components =
+        decomposed->decomposition().ComponentsOfInstance(inst);
+    std::vector<char> nondeterministic(components.size(), 0);
+    exec::CancellationToken cancel;
+    RETURN_IF_ERROR(pool.ParallelFor(
+        static_cast<int>(components.size()),
+        [&](int k) -> Status {
+          ASSIGN_OR_RETURN(Encoder * encoder,
+                           decomposed->ComponentEncoder(components[k]));
+          ASSIGN_OR_RETURN(bool deterministic,
+                           DeterministicViaSat(spec, encoder, inst));
+          if (!deterministic) {
+            nondeterministic[k] = 1;
+            cancel.Cancel();
+          }
+          return Status::OK();
+        },
+        &cancel));
+    for (char n : nondeterministic) {
+      if (n) return false;
     }
     return true;
   }

@@ -24,6 +24,11 @@ struct DcipOptions {
   /// Split the SAT path along the coupling graph: every entity group's
   /// determinism is probed inside its own component encoder.
   bool use_decomposition = true;
+  /// Threads for the decomposed path: the consistency pre-solve and the
+  /// per-component determinism probes run concurrently (each component's
+  /// probe sequence is confined to one task).  1 (the default) runs
+  /// sequentially; the answer is bit-identical for every value.
+  int num_threads = 1;
   Encoder::Options encoder;
 };
 

@@ -142,7 +142,10 @@ Status Encoder::BuildImpl(const Specification& spec, const Options& options) {
     // specification, so the decomposition layer precomputes it once
     // (options.chase_seed) instead of once per component.
     if (chase == nullptr) {
-      ASSIGN_OR_RETURN(local_chase, CertainOrderPrefix(spec));
+      // options.copy_index (when given) spares the chase its own
+      // bucketing pass; it validates the edge count itself.
+      ASSIGN_OR_RETURN(local_chase,
+                       CertainOrderPrefix(spec, options.copy_index));
       chase = &*local_chase;
     }
     if (!chase->consistent) {

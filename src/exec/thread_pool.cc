@@ -1,0 +1,99 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace currency::exec {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int w = 0; w < num_threads_ - 1; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunBatch(Batch* batch) {
+  for (;;) {
+    if (batch->cancel != nullptr && batch->cancel->cancelled()) return;
+    if (batch->failed.load(std::memory_order_relaxed)) return;
+    int task = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (task >= batch->num_tasks) return;
+    Status status = (*batch->body)(task);
+    if (!status.ok()) {
+      // Each slot is written by the one thread that claimed the task; the
+      // join's mutex publishes it to the caller.
+      batch->statuses[task] = std::move(status);
+      batch->failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t last_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ ||
+             (current_ != nullptr && generation_ != last_generation);
+    });
+    if (shutdown_) return;
+    Batch* batch = current_;
+    last_generation = generation_;
+    ++batch->active;
+    lock.unlock();
+    RunBatch(batch);
+    lock.lock();
+    if (--batch->active == 0) done_cv_.notify_all();
+  }
+}
+
+Status ThreadPool::ParallelFor(int num_tasks,
+                               const std::function<Status(int)>& body,
+                               CancellationToken* cancel) {
+  if (num_tasks <= 0) return Status::OK();
+  if (workers_.empty() || num_tasks == 1) {
+    // Inline sequential path: index order, first error wins, cancellation
+    // honoured between tasks — the same contract the workers implement.
+    for (int task = 0; task < num_tasks; ++task) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      RETURN_IF_ERROR(body(task));
+    }
+    return Status::OK();
+  }
+  Batch batch;
+  batch.num_tasks = num_tasks;
+  batch.body = &body;
+  batch.cancel = cancel;
+  batch.statuses.assign(num_tasks, Status::OK());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunBatch(&batch);  // the calling thread is one of the num_threads
+  {
+    // Every claimed task is held by a worker counted in `active`; once it
+    // reaches zero with the caller's own run complete, all tasks are done.
+    // Clearing `current_` under the same lock hold keeps late-waking
+    // workers from touching the dead batch.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch.active == 0; });
+    current_ = nullptr;
+  }
+  for (int task = 0; task < num_tasks; ++task) {
+    if (!batch.statuses[task].ok()) return batch.statuses[task];
+  }
+  return Status::OK();
+}
+
+}  // namespace currency::exec

@@ -1,0 +1,112 @@
+// Parallel execution of independent decomposed work (coupling components,
+// COP pair groups, CCQA fragment enumerations).
+//
+// The decomposition layer (src/core/decompose.h) turns one specification
+// into many independent sub-problems — Mod(S) ≅ Π_c Mod(S|_c) — and every
+// per-component object (Encoder, sat::Solver) is confined to exactly one
+// task, while the shared inputs (Specification, Decomposition,
+// CopyBucketIndex, chase seed, entity-group caches) are read-only after
+// DecomposedEncoder::Build.  Under that confinement discipline, parallel
+// execution is a pure scheduling change: ParallelFor claims task indices
+// from an atomic counter, every task writes only its own result slot, and
+// callers aggregate by index — so answers, witnesses, and enumeration
+// orders are bit-identical to the sequential path for every thread count.
+//
+// Cancellation is cooperative: a task that settles the global answer (an
+// UNSAT component for CPS, a refuted pair for COP, a non-determinism
+// witness for DCIP) cancels the token; unclaimed tasks are then skipped,
+// tasks already running finish.  Because cancellation only ever *skips*
+// work whose results the caller would not observe, it cannot perturb
+// determinism.
+
+#ifndef CURRENCY_SRC_EXEC_THREAD_POOL_H_
+#define CURRENCY_SRC_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace currency::exec {
+
+/// A cooperative cancellation flag shared by the tasks of a parallel
+/// region.  Cancel() is sticky and thread-safe; tasks poll cancelled()
+/// at their next claim point.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A fixed-size thread pool with a deterministic fork-join primitive.
+///
+/// `num_threads` counts the calling thread: ThreadPool(n) spawns n - 1
+/// workers, and ThreadPool(1) spawns none — ParallelFor then runs every
+/// task inline in index order, making one-thread execution *literally*
+/// the sequential path rather than merely equivalent to it.
+///
+/// ParallelFor is a blocking fork-join region and must not be invoked
+/// concurrently or reentrantly on one pool (the decision procedures each
+/// build one pool per call and open one region at a time).  Task bodies
+/// must confine their mutations to per-task state; see the file comment.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(task) for every task in [0, num_tasks), blocking until all
+  /// claimed tasks finish.  Indices are claimed in increasing order; each
+  /// body's return Status lands in a per-task slot and the lowest-indexed
+  /// error (if any) is returned, so the outcome does not depend on thread
+  /// interleaving.  A failing task cancels the remaining unclaimed tasks;
+  /// so does `cancel` (when given) once any task cancels it.  The join
+  /// establishes a happens-before edge from every task body to the
+  /// caller, so per-task results may be read without further locking.
+  Status ParallelFor(int num_tasks, const std::function<Status(int)>& body,
+                     CancellationToken* cancel = nullptr);
+
+ private:
+  /// One fork-join region: claim counter, per-task statuses, live-task
+  /// accounting.  Stack-allocated by ParallelFor; workers reach it through
+  /// `current_` under the pool mutex.
+  struct Batch {
+    int num_tasks = 0;
+    const std::function<Status(int)>* body = nullptr;
+    CancellationToken* cancel = nullptr;
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::vector<Status> statuses;
+    int active = 0;  // workers inside RunBatch; guarded by mu_
+  };
+
+  void WorkerLoop();
+  static void RunBatch(Batch* batch);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* current_ = nullptr;     // guarded by mu_
+  std::uint64_t generation_ = 0; // guarded by mu_; bumps per region
+  bool shutdown_ = false;        // guarded by mu_
+};
+
+}  // namespace currency::exec
+
+#endif  // CURRENCY_SRC_EXEC_THREAD_POOL_H_

@@ -1,23 +1,38 @@
 #include "src/sat/model_enumerator.h"
 
+#include <string>
+
 namespace currency::sat {
 
-Result<int64_t> EnumerateProjectedModels(
+Result<ProjectedModelEnumeration> EnumerateProjectedModels(
     Solver* solver, const std::vector<Var>& projection, int64_t max_models,
     const std::function<bool(const std::vector<bool>&)>& visit) {
-  int64_t found = 0;
+  ProjectedModelEnumeration outcome;
   std::vector<bool> values(projection.size());
-  while (solver->Solve() == SolveResult::kSat) {
-    if (found >= max_models) {
+  for (;;) {
+    // Budget check BEFORE the solve: once max_models models are visited
+    // and exhaustion has not been proven cheaply (by the blocking clause
+    // conflicting at level 0, below), report ResourceExhausted without
+    // paying a (max_models+1)-th solve.  Deliberate tradeoff (see the
+    // header): that solve could still come back UNSAT and turn an
+    // exactly-at-budget enumeration into a success, but the budget is a
+    // bound on solver work, so it is not spent on finding out.
+    if (outcome.models >= max_models) {
       return Status::ResourceExhausted(
           "model enumeration exceeded " + std::to_string(max_models) +
           " projected models");
     }
+    if (solver->Solve() != SolveResult::kSat) break;
     for (size_t i = 0; i < projection.size(); ++i) {
       values[i] = solver->ModelValue(projection[i]);
     }
-    ++found;
-    if (!visit(values)) return found;
+    ++outcome.models;
+    if (!visit(values)) {
+      // The caller stopped the enumeration: report it distinguishably and
+      // leave this last model unblocked (documented in the header).
+      outcome.stopped = true;
+      return outcome;
+    }
     // Block this projected assignment.
     std::vector<Lit> block;
     block.reserve(projection.size());
@@ -26,7 +41,7 @@ Result<int64_t> EnumerateProjectedModels(
     }
     if (!solver->AddClause(std::move(block))) break;  // no models remain
   }
-  return found;
+  return outcome;
 }
 
 }  // namespace currency::sat

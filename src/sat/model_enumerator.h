@@ -9,6 +9,7 @@
 #ifndef CURRENCY_SRC_SAT_MODEL_ENUMERATOR_H_
 #define CURRENCY_SRC_SAT_MODEL_ENUMERATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -17,16 +18,31 @@
 
 namespace currency::sat {
 
+/// Outcome of EnumerateProjectedModels: how many projected models were
+/// visited, and whether the enumeration ended because `visit` asked it to
+/// (as opposed to the solution space being exhausted).  The distinction
+/// matters to callers that resume or reason about completeness: on a
+/// `stopped` outcome the last visited model is NOT blocked in the solver,
+/// so a subsequent enumeration on the same solver would revisit it.
+struct ProjectedModelEnumeration {
+  int64_t models = 0;
+  bool stopped = false;
+};
+
 /// Enumerates assignments to `projection` that extend to models of `solver`.
 ///
 /// Calls `visit` once per distinct projected assignment (a vector of bools
 /// parallel to `projection`); enumeration stops early if `visit` returns
-/// false.  `max_models` bounds the enumeration; exceeding it returns
-/// ResourceExhausted.  Returns the number of projected models visited.
+/// false (reported as `stopped` in the outcome).  `max_models` budgets the
+/// enumeration: the budget is checked BEFORE each solve, so reaching
+/// `max_models` visited models without the last blocking clause proving
+/// exhaustion at level 0 returns ResourceExhausted without paying an extra
+/// solve — which also means a space of exactly `max_models` models whose
+/// emptiness only a final solve could prove reports ResourceExhausted.
 ///
 /// The solver is mutated (blocking clauses are added); callers that need
 /// the original formula afterwards should enumerate on a copy.
-Result<int64_t> EnumerateProjectedModels(
+Result<ProjectedModelEnumeration> EnumerateProjectedModels(
     Solver* solver, const std::vector<Var>& projection, int64_t max_models,
     const std::function<bool(const std::vector<bool>&)>& visit);
 

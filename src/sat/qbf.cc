@@ -120,6 +120,12 @@ Qbf RandomQbf(const std::vector<int>& block_sizes, bool first_exists,
     qbf.prefix.push_back(std::move(block));
     exists = !exists;
   }
+  if (qbf.num_vars == 0) {
+    // No variables to draw literals from: constructing the distribution
+    // below with the range (0, -1) would be undefined behavior.  Return
+    // the empty-matrix QBF (trivially true as CNF, false as DNF).
+    return qbf;
+  }
   std::uniform_int_distribution<int> var_dist(0, qbf.num_vars - 1);
   std::uniform_int_distribution<int> sign_dist(0, 1);
   for (int t = 0; t < num_terms; ++t) {

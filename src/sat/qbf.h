@@ -48,7 +48,10 @@ Result<bool> EvaluateQbf(const Qbf& qbf, int max_vars = 26);
 
 /// Generates a random prenex QBF with the given quantifier block sizes and
 /// `num_terms` random 3-literal terms.  `cnf` selects CNF vs DNF matrix.
-/// Each quantifier block alternates starting from `first_exists`.
+/// Each quantifier block alternates starting from `first_exists`.  When
+/// the blocks contribute no variables at all (`block_sizes` empty or
+/// all-zero) there is nothing to draw literals from, so the matrix stays
+/// empty: the result is the trivially true (CNF) / false (DNF) QBF.
 Qbf RandomQbf(const std::vector<int>& block_sizes, bool first_exists,
               int num_terms, bool cnf, std::mt19937* rng);
 

@@ -1,9 +1,38 @@
 #include "src/sat/solver.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace currency::sat {
+
+/// Debug-only thread-confinement guard (see the header's confinement
+/// contract): flags the solver busy for the duration of a mutating entry
+/// point and asserts no second entry overlaps.  The exchange is relaxed —
+/// the guard detects misuse, it does not synchronize; compiled out of the
+/// hot path entirely under NDEBUG.
+class ConfinementGuard {
+#ifndef NDEBUG
+ public:
+  explicit ConfinementGuard(const Solver& solver) : solver_(solver) {
+    bool was_busy = solver_.in_call_.exchange(true, std::memory_order_relaxed);
+    assert(!was_busy &&
+           "sat::Solver entered from two threads at once (or reentrantly); "
+           "solvers must stay confined to one task at a time");
+  }
+  ~ConfinementGuard() {
+    solver_.in_call_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  const Solver& solver_;
+#else
+ public:
+  // Release builds: no state, no work (an unused reference member would
+  // trip clang's -Wunused-private-field under -Werror).
+  explicit ConfinementGuard(const Solver&) {}
+#endif
+};
 
 Var Solver::NewVar() {
   Var v = static_cast<Var>(assign_.size());
@@ -43,6 +72,7 @@ void Solver::CancelUntil(int level) {
 }
 
 bool Solver::AddClause(std::vector<Lit> lits) {
+  ConfinementGuard guard(*this);
   if (!ok_) return false;
   CancelUntil(0);
   // Level-0 simplification: drop false literals, detect satisfied clauses
@@ -311,6 +341,7 @@ double Solver::Luby(double y, int x) {
 }
 
 SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
+  ConfinementGuard guard(*this);
   CancelUntil(0);
   if (!ok_) return SolveResult::kUnsat;
   if (Propagate() != -1) {

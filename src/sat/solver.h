@@ -8,10 +8,22 @@
 // This is the engine realizing the paper's upper bounds (Theorems 3.1,
 // 3.4, 3.5): the NP/Σ₂ᵖ search over consistent completions runs as CDCL
 // on the order encoding from src/core/encoder.h.
+//
+// Thread confinement: a Solver is NOT thread-safe — no internal locking,
+// and every entry point (NewVar, AddClause, Solve, SolveWithAssumptions,
+// ModelValue) mutates or reads search state.  The parallel execution
+// layer (src/exec) therefore confines each solver to one task at a time:
+// concurrent use of *distinct* solvers is fine, sequential hand-off of
+// one solver between threads is fine when a happens-before edge orders
+// the calls (ThreadPool::ParallelFor's fork and join provide one), but
+// two threads inside one solver at once is a bug.  Debug builds enforce
+// this with a cheap overlapping-call assert; ThreadSanitizer (see
+// CURRENCY_TSAN) catches the rest.
 
 #ifndef CURRENCY_SRC_SAT_SOLVER_H_
 #define CURRENCY_SRC_SAT_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -142,6 +154,14 @@ class Solver {
   std::vector<int8_t> seen_;     // scratch for Analyze
   std::vector<char> lbd_seen_;   // scratch for LearntLbd
   SolverStats stats_;
+
+  /// Debug-only confinement guard: set while a mutating entry point
+  /// (AddClause / SolveWithAssumptions) runs; overlapping entries from a
+  /// second thread — or reentrancy — trip an assert.  Sequential hand-off
+  /// between threads (the exec layer's fork/join) never overlaps, so it
+  /// passes.  See ConfinementGuard in solver.cc.
+  mutable std::atomic<bool> in_call_{false};
+  friend class ConfinementGuard;
 };
 
 }  // namespace currency::sat

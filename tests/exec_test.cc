@@ -1,0 +1,168 @@
+// Unit tests for the parallel execution layer (src/exec/thread_pool.h):
+// task coverage, index-ordered claiming, deterministic error selection,
+// cooperative cancellation, and the inline one-thread path.  These tests
+// (plus tests/parallel_equivalence_test.cc) are the ones scripts/check.sh
+// re-runs under ThreadSanitizer (CURRENCY_TSAN).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+
+namespace currency::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> hits(97);
+    Status status = pool.ParallelFor(97, [&](int task) -> Status {
+      hits[task].fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok());
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossRegions) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    ASSERT_TRUE(pool
+                    .ParallelFor(round + 1,
+                                 [&](int task) -> Status {
+                                   sum.fetch_add(task + 1);
+                                   return Status::OK();
+                                 })
+                    .ok());
+    EXPECT_EQ(sum.load(), (round + 1) * (round + 2) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeInputsAreSafe) {
+  ThreadPool clamped(0);  // clamps to one thread
+  EXPECT_EQ(clamped.num_threads(), 1);
+  int calls = 0;
+  EXPECT_TRUE(clamped
+                  .ParallelFor(0,
+                               [&](int) -> Status {
+                                 ++calls;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+  ThreadPool pool(3);
+  EXPECT_TRUE(pool.ParallelFor(-5, [&](int) -> Status {
+                    ++calls;
+                    return Status::OK();
+                  }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, LowestIndexedErrorWinsDeterministically) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    // Tasks 3 and 7 fail; the reported error must be task 3's on every
+    // thread count and every interleaving.
+    Status status = pool.ParallelFor(16, [&](int task) -> Status {
+      if (task == 7) return Status::Internal("task 7");
+      if (task == 3) return Status::InvalidArgument("task 3");
+      return Status::OK();
+    });
+    ASSERT_FALSE(status.ok());
+    // Task 7 may have been skipped (an error cancels unclaimed tasks),
+    // but if both ran, index order decides.
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(status.message(), "task 3");
+  }
+}
+
+TEST(ThreadPoolTest, InlinePathStopsAtFirstError) {
+  ThreadPool pool(1);
+  int last_seen = -1;
+  Status status = pool.ParallelFor(10, [&](int task) -> Status {
+    last_seen = task;
+    if (task == 4) return Status::Internal("task 4");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "task 4");
+  EXPECT_EQ(last_seen, 4);  // tasks after the failure never run
+}
+
+TEST(ThreadPoolTest, CancellationSkipsUnclaimedTasks) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    CancellationToken cancel;
+    std::atomic<int> ran{0};
+    Status status = pool.ParallelFor(
+        1000,
+        [&](int task) -> Status {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          if (task == 0) cancel.Cancel();
+          return Status::OK();
+        },
+        &cancel);
+    ASSERT_TRUE(status.ok());
+    // Task 0 is claimed first (index order), cancels, and at most the
+    // tasks already claimed by then still run — far fewer than 1000.
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_LT(ran.load(), 1000);
+  }
+}
+
+TEST(ThreadPoolTest, ClaimsFormAPrefix) {
+  // Claims proceed in index order, so whatever ran is a prefix of the
+  // index space once cancellation fires — the property the decomposed
+  // CCQA aggregation relies on to find the genuine first cause.
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    CancellationToken cancel;
+    std::vector<std::atomic<char>> ran(256);
+    ASSERT_TRUE(pool
+                    .ParallelFor(
+                        256,
+                        [&](int task) -> Status {
+                          ran[task].store(1, std::memory_order_relaxed);
+                          if (task == 40) cancel.Cancel();
+                          return Status::OK();
+                        },
+                        &cancel)
+                    .ok());
+    int highest_ran = -1;
+    for (int i = 0; i < 256; ++i) {
+      if (ran[i].load()) highest_ran = i;
+    }
+    for (int i = 0; i <= highest_ran; ++i) {
+      EXPECT_TRUE(ran[i].load()) << "gap at task " << i
+                                 << " below highest ran " << highest_ran;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreadsStress) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  const int n = 10'000;
+  ASSERT_TRUE(pool
+                  .ParallelFor(n,
+                               [&](int task) -> Status {
+                                 sum.fetch_add(task,
+                                               std::memory_order_relaxed);
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace currency::exec

@@ -415,7 +415,8 @@ TEST(ModelEnumeratorTest, EnumeratesAllProjectedModels) {
                                         return true;
                                       });
   ASSERT_TRUE(res.ok());
-  EXPECT_EQ(res.value(), 3);
+  EXPECT_EQ(res->models, 3);
+  EXPECT_FALSE(res->stopped);
   EXPECT_EQ(seen.size(), 3u);
   (void)c;
 }
@@ -424,10 +425,30 @@ TEST(ModelEnumeratorTest, RespectsBudget) {
   Solver s;
   for (int i = 0; i < 5; ++i) s.NewVar();
   std::vector<Var> proj{0, 1, 2, 3, 4};
-  auto res = EnumerateProjectedModels(
-      &s, proj, 10, [](const std::vector<bool>&) { return true; });
+  int visits = 0;
+  auto res = EnumerateProjectedModels(&s, proj, 10,
+                                      [&](const std::vector<bool>&) {
+                                        ++visits;
+                                        return true;
+                                      });
   EXPECT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+  // The budget bounds the solves: exactly 10 models are visited and the
+  // over-budget report costs no (max_models+1)-th solve.
+  EXPECT_EQ(visits, 10);
+}
+
+TEST(ModelEnumeratorTest, ExactBudgetWithLevelZeroExhaustionProof) {
+  // One free variable: two projected models.  The second blocking clause
+  // contradicts the first at level 0, so AddClause proves exhaustion and
+  // a budget of exactly 2 is NOT reported as exceeded.
+  Solver s;
+  Var a = s.NewVar();
+  auto res = EnumerateProjectedModels(
+      &s, {a}, 2, [](const std::vector<bool>&) { return true; });
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->models, 2);
+  EXPECT_FALSE(res->stopped);
 }
 
 TEST(ModelEnumeratorTest, EarlyStop) {
@@ -440,8 +461,37 @@ TEST(ModelEnumeratorTest, EarlyStop) {
                                         return false;
                                       });
   ASSERT_TRUE(res.ok());
-  EXPECT_EQ(res.value(), 1);
+  EXPECT_EQ(res->models, 1);
   EXPECT_EQ(visits, 1);
+  // A caller-requested stop is distinguishable from natural exhaustion
+  // (the stopped model is left unblocked in the solver).
+  EXPECT_TRUE(res->stopped);
+}
+
+TEST(ModelEnumeratorTest, StoppedModelIsLeftUnblocked) {
+  Solver s;
+  Var a = s.NewVar();
+  std::vector<std::vector<bool>> first_run;
+  auto res = EnumerateProjectedModels(&s, {a}, 100,
+                                      [&](const std::vector<bool>& m) {
+                                        first_run.push_back(m);
+                                        return false;  // stop immediately
+                                      });
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(res->stopped);
+  ASSERT_EQ(first_run.size(), 1u);
+  // Resuming on the same solver revisits the unblocked model.
+  std::vector<std::vector<bool>> second_run;
+  auto resumed = EnumerateProjectedModels(&s, {a}, 100,
+                                          [&](const std::vector<bool>& m) {
+                                            second_run.push_back(m);
+                                            return true;
+                                          });
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_FALSE(resumed->stopped);
+  EXPECT_EQ(resumed->models, 2);
+  ASSERT_GE(second_run.size(), 1u);
+  EXPECT_EQ(second_run[0], first_run[0]);
 }
 
 TEST(QbfTest, PropositionalMatrix) {
@@ -502,6 +552,26 @@ TEST(QbfTest, RandomGeneratorShapes) {
   EXPECT_EQ(q.terms.size(), 5u);
   for (const auto& t : q.terms) EXPECT_EQ(t.size(), 3u);
   EXPECT_FALSE(q.ToString().empty());
+}
+
+TEST(QbfTest, RandomGeneratorGuardsZeroVariables) {
+  // Regression: an empty (or all-zero) block list used to construct
+  // uniform_int_distribution<int>(0, -1) — undefined behavior.  The
+  // degenerate case now yields the empty-matrix QBF: no variables, no
+  // terms, trivially true as CNF and false as DNF.
+  std::mt19937 rng(7);
+  for (const std::vector<int>& shape :
+       {std::vector<int>{}, std::vector<int>{0}, std::vector<int>{0, 0, 0}}) {
+    Qbf cnf = RandomQbf(shape, /*first_exists=*/true, 5, /*cnf=*/true, &rng);
+    EXPECT_EQ(cnf.num_vars, 0);
+    EXPECT_TRUE(cnf.terms.empty());
+    EXPECT_EQ(cnf.prefix.size(), shape.size());
+    EXPECT_TRUE(EvaluateQbf(cnf).value());
+    Qbf dnf = RandomQbf(shape, /*first_exists=*/false, 5, /*cnf=*/false, &rng);
+    EXPECT_EQ(dnf.num_vars, 0);
+    EXPECT_TRUE(dnf.terms.empty());
+    EXPECT_FALSE(EvaluateQbf(dnf).value());
+  }
 }
 
 // Property: for purely existential QBF with CNF matrix, the QBF oracle
