@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Performance trajectory runner: builds the bench binaries and emits a
+# machine-readable report for the serving layer.
+#
+# Output: BENCH_serve.json at the repository root — ops/sec and p50/p95
+# latency for cold session bring-up, rebuild-per-query one-shot solves,
+# warm single queries, warm batches, and mutate-then-requery, plus the
+# warm-batch-vs-rebuild speedup on the 1024-component sharded workload.
+# bench_serve self-checks every answer against the one-shot solver and
+# enforces the >= 5x amortization floor, so this script failing means a
+# real regression (wrong answers or lost amortization), not noise.
+#
+# The Google-Benchmark binaries (paper tables, decomposition scaling) are
+# not re-run here: they measure solver internals, not the serving layer,
+# and dominate wall-clock.  Run them directly when needed.
+#
+# Usage: scripts/bench.sh [build-dir]    (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+
+cd "$repo_root"
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S .
+fi
+cmake --build "$build_dir" -j "$(nproc)" --target bench_serve
+
+"$build_dir/bench/bench_serve" \
+  --entities=1024 --queries=16 --iters=5 \
+  --require-speedup=5 \
+  --out="$repo_root/BENCH_serve.json"
+
+echo "bench: wrote $repo_root/BENCH_serve.json"

@@ -1,6 +1,7 @@
 #include "src/core/ccqa.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/core/decompose.h"
 #include "src/core/sp_ccqa.h"
@@ -10,17 +11,6 @@
 namespace currency::core {
 
 namespace {
-
-/// Resolves the instance indices of the relations a query mentions.
-Result<std::vector<int>> QueryInstances(const Specification& spec,
-                                        const query::Query& q) {
-  std::vector<int> out;
-  for (const std::string& name : q.body->Relations()) {
-    ASSIGN_OR_RETURN(int i, spec.InstanceIndex(name));
-    out.push_back(i);
-  }
-  return out;
-}
 
 /// Builds the query-visible database view from decoded current instances.
 query::Database RestrictTo(const Specification& spec,
@@ -68,6 +58,20 @@ Result<std::vector<sat::Lit>> BlockingClause(
   return clause;
 }
 
+}  // namespace
+
+namespace internal {
+
+Result<std::vector<int>> QueryInstances(const Specification& spec,
+                                        const query::Query& q) {
+  std::vector<int> out;
+  for (const std::string& name : q.body->Relations()) {
+    ASSIGN_OR_RETURN(int i, spec.InstanceIndex(name));
+    out.push_back(i);
+  }
+  return out;
+}
+
 /// Conflict-driven certain-membership loop on a prebuilt encoder:
 /// searches for a consistent completion whose current instance does NOT
 /// answer `t`, blocking after each failed attempt only the cells the
@@ -109,6 +113,35 @@ Result<bool> CheckCertainMemberWith(Encoder* encoder,
   return true;  // every completion answers t
 }
 
+Result<std::set<Tuple>> CertainAnswersVia(
+    Encoder* seed,
+    const std::function<Result<std::unique_ptr<Encoder>>()>& make_encoder,
+    const Specification& spec, const query::Query& q,
+    const std::vector<int>& instances, const CcqaOptions& options) {
+  // Candidates come from the seed encoder's first model (certain ⊆ each
+  // Q(LST)), then each candidate gets a certain-membership check on a
+  // fresh encoder (the membership loop mutates it with blocking clauses).
+  if (seed->solver().Solve() == sat::SolveResult::kUnsat) {
+    return Status::Inconsistent(
+        "Mod(S) is empty: every tuple is vacuously a certain answer");
+  }
+  ASSIGN_OR_RETURN(std::vector<Relation> lst, seed->DecodeCurrentInstances());
+  query::Database db = RestrictTo(spec, instances, lst);
+  ASSIGN_OR_RETURN(std::set<Tuple> candidates, query::EvalQuery(q, db));
+  std::set<Tuple> certain;
+  for (const Tuple& t : candidates) {
+    ASSIGN_OR_RETURN(auto encoder, make_encoder());
+    ASSIGN_OR_RETURN(bool keep, CheckCertainMemberWith(encoder.get(), spec, q,
+                                                       t, instances, options));
+    if (keep) certain.insert(t);
+  }
+  return certain;
+}
+
+}  // namespace internal
+
+namespace {
+
 /// Certain-membership check.  The decomposed path restricts the blocking
 /// loop to the coupling components the query's instances touch; the other
 /// components only matter through the Mod(S) = ∅ vacuity, which their
@@ -123,17 +156,19 @@ Result<bool> CheckCertainMember(const Specification& spec,
     ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
     std::vector<int> relevant =
         decomposed->decomposition().ComponentsOfInstances(instances);
-    exec::ThreadPool pool(options.num_threads);
+    std::optional<exec::ThreadPool> local_pool;
+    exec::ThreadPool* pool =
+        exec::ResolvePool(options.pool, options.num_threads, local_pool);
     ASSIGN_OR_RETURN(bool rest_consistent,
-                     decomposed->SolveAll(relevant, &pool));
+                     decomposed->SolveAll(relevant, pool));
     if (!rest_consistent) return true;  // Mod(S) = ∅: vacuously certain
     ASSIGN_OR_RETURN(auto encoder, decomposed->BuildMergedEncoder(relevant));
-    return CheckCertainMemberWith(encoder.get(), spec, q, t, instances,
-                                  options);
+    return internal::CheckCertainMemberWith(encoder.get(), spec, q, t,
+                                            instances, options);
   }
   ASSIGN_OR_RETURN(auto encoder, Encoder::Build(spec, enc));
-  return CheckCertainMemberWith(encoder.get(), spec, q, t, instances,
-                                options);
+  return internal::CheckCertainMemberWith(encoder.get(), spec, q, t,
+                                          instances, options);
 }
 
 /// Enumerates the distinct current instances of one encoder's formula
@@ -170,11 +205,13 @@ Result<int64_t> ForEachCurrentInstanceDecomposed(
     const CcqaOptions& options,
     const std::function<bool(const query::Database&)>& visit) {
   ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
-  exec::ThreadPool pool(options.num_threads);
+  std::optional<exec::ThreadPool> local_pool;
+  exec::ThreadPool* pool =
+      exec::ResolvePool(options.pool, options.num_threads, local_pool);
   // A single UNSAT component empties Mod(S); detect that with one cheap
   // solve per component before enumerating any fragments (a huge earlier
   // component must not burn the budget when a later one is empty).
-  ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, &pool));
+  ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, pool));
   if (!consistent) return 0;
   int num_components = decomposed->num_components();
   std::vector<int> all;
@@ -192,7 +229,7 @@ Result<int64_t> ForEachCurrentInstanceDecomposed(
   std::vector<Status> component_status(num_components, Status::OK());
   std::vector<std::vector<std::vector<Relation>>> fragments(num_components);
   exec::CancellationToken cancel;
-  RETURN_IF_ERROR(pool.ParallelFor(
+  RETURN_IF_ERROR(pool->ParallelFor(
       num_components,
       [&](int c) -> Status {
         auto encoder = decomposed->ComponentEncoder(c);
@@ -294,55 +331,34 @@ Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
       query::IsSpQuery(q)) {
     return SpCertainCurrentAnswers(spec, q);
   }
-  ASSIGN_OR_RETURN(std::vector<int> instances, QueryInstances(spec, q));
+  ASSIGN_OR_RETURN(std::vector<int> instances,
+                   internal::QueryInstances(spec, q));
   Encoder::Options enc = options.encoder;
   enc.define_is_last = true;
-  // Answer-set loop shared by both encoder arrangements: candidates come
-  // from the seed encoder's first model (certain ⊆ each Q(LST)), then
-  // each candidate gets a certain-membership check on a fresh encoder
-  // (the membership loop mutates it with blocking clauses).
-  auto answers_via =
-      [&](Encoder* seed,
-          const std::function<Result<std::unique_ptr<Encoder>>()>&
-              make_encoder) -> Result<std::set<Tuple>> {
-    if (seed->solver().Solve() == sat::SolveResult::kUnsat) {
-      return Status::Inconsistent(
-          "Mod(S) is empty: every tuple is vacuously a certain answer");
-    }
-    ASSIGN_OR_RETURN(std::vector<Relation> lst,
-                     seed->DecodeCurrentInstances());
-    query::Database db = RestrictTo(spec, instances, lst);
-    ASSIGN_OR_RETURN(std::set<Tuple> candidates, query::EvalQuery(q, db));
-    std::set<Tuple> certain;
-    for (const Tuple& t : candidates) {
-      ASSIGN_OR_RETURN(auto encoder, make_encoder());
-      ASSIGN_OR_RETURN(bool keep,
-                       CheckCertainMemberWith(encoder.get(), spec, q, t,
-                                              instances, options));
-      if (keep) certain.insert(t);
-    }
-    return certain;
-  };
   if (options.use_decomposition) {
     ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
     std::vector<int> relevant =
         decomposed->decomposition().ComponentsOfInstances(instances);
     // Vacuity of the untouched components, checked once for all
     // candidates; the touched ones are covered by the merged seed solve.
-    exec::ThreadPool pool(options.num_threads);
+    std::optional<exec::ThreadPool> local_pool;
+    exec::ThreadPool* pool =
+        exec::ResolvePool(options.pool, options.num_threads, local_pool);
     ASSIGN_OR_RETURN(bool rest_consistent,
-                     decomposed->SolveAll(relevant, &pool));
+                     decomposed->SolveAll(relevant, pool));
     if (!rest_consistent) {
       return Status::Inconsistent(
           "Mod(S) is empty: every tuple is vacuously a certain answer");
     }
     ASSIGN_OR_RETURN(auto seed, decomposed->BuildMergedEncoder(relevant));
-    return answers_via(seed.get(), [&] {
-      return decomposed->BuildMergedEncoder(relevant);
-    });
+    return internal::CertainAnswersVia(
+        seed.get(), [&] { return decomposed->BuildMergedEncoder(relevant); },
+        spec, q, instances, options);
   }
   ASSIGN_OR_RETURN(auto seed, Encoder::Build(spec, enc));
-  return answers_via(seed.get(), [&] { return Encoder::Build(spec, enc); });
+  return internal::CertainAnswersVia(
+      seed.get(), [&] { return Encoder::Build(spec, enc); }, spec, q,
+      instances, options);
 }
 
 Result<bool> IsCertainCurrentAnswer(const Specification& spec,
@@ -361,7 +377,8 @@ Result<bool> IsCertainCurrentAnswer(const Specification& spec,
     RETURN_IF_ERROR(answers.status());
     return answers->count(t) > 0;
   }
-  ASSIGN_OR_RETURN(std::vector<int> instances, QueryInstances(spec, q));
+  ASSIGN_OR_RETURN(std::vector<int> instances,
+                   internal::QueryInstances(spec, q));
   // CheckCertainMember returns true on inconsistent specifications (its
   // first Solve is UNSAT), matching the vacuous-truth convention.
   return CheckCertainMember(spec, q, t, instances, options);

@@ -16,13 +16,20 @@
 #define CURRENCY_SRC_CORE_CCQA_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
 #include "src/query/classify.h"
 #include "src/query/eval.h"
+
+namespace currency::exec {
+class ThreadPool;
+}  // namespace currency::exec
 
 namespace currency::core {
 
@@ -50,6 +57,9 @@ struct CcqaOptions {
   /// one merged encoder).  1 (the default) runs sequentially; answers,
   /// counts and enumeration order are bit-identical for every value.
   int num_threads = 1;
+  /// Optional caller-owned pool reused across calls (overrides
+  /// `num_threads`; not owned).  See CpsOptions::pool.
+  exec::ThreadPool* pool = nullptr;
   Encoder::Options encoder;
 };
 
@@ -73,6 +83,39 @@ Result<bool> IsCertainCurrentAnswer(const Specification& spec,
 Result<int64_t> ForEachCurrentInstance(
     const Specification& spec, const CcqaOptions& options,
     const std::function<bool(const query::Database&)>& visit);
+
+namespace internal {
+
+/// Instance indices of the relations `q` mentions, in body order.
+Result<std::vector<int>> QueryInstances(const Specification& spec,
+                                        const query::Query& q);
+
+/// The conflict-driven certain-membership loop on a caller-built encoder
+/// covering every entity of the query's instances (a merged component
+/// encoder from DecomposedEncoder::BuildMergedEncoder does).  Mutates the
+/// encoder with blocking clauses, so callers must hand in a throwaway
+/// encoder — never a cached component encoder.  Returns true when every
+/// consistent completion's current instance answers `t` (vacuously true
+/// when the encoder is UNSAT).  Shared by the one-shot CCQA solvers and
+/// the serving layer's CcqaBatch.
+Result<bool> CheckCertainMemberWith(Encoder* encoder,
+                                    const Specification& spec,
+                                    const query::Query& q, const Tuple& t,
+                                    const std::vector<int>& instances,
+                                    const CcqaOptions& options);
+
+/// The candidate-and-check loop behind CertainCurrentAnswers: candidates
+/// come from `seed`'s first model (certain answers are a subset of every
+/// Q(LST)), then each candidate runs CheckCertainMemberWith on a fresh
+/// encoder from `make_encoder`.  Returns Status::Inconsistent when the
+/// seed is UNSAT (Mod(S) = ∅).
+Result<std::set<Tuple>> CertainAnswersVia(
+    Encoder* seed,
+    const std::function<Result<std::unique_ptr<Encoder>>()>& make_encoder,
+    const Specification& spec, const query::Query& q,
+    const std::vector<int>& instances, const CcqaOptions& options);
+
+}  // namespace internal
 
 }  // namespace currency::core
 

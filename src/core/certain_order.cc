@@ -1,6 +1,7 @@
 #include "src/core/certain_order.h"
 
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -47,8 +48,10 @@ Result<bool> IsCertainOrder(const Specification& spec,
   if (options.use_decomposition) {
     ASSIGN_OR_RETURN(auto decomposed,
                      DecomposedEncoder::Build(spec, options.encoder));
-    exec::ThreadPool pool(options.num_threads);
-    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, &pool));
+    std::optional<exec::ThreadPool> local_pool;
+    exec::ThreadPool* pool =
+        exec::ResolvePool(options.pool, options.num_threads, local_pool);
+    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, pool));
     if (!consistent) return true;  // Mod(S) = ∅: vacuously certain
     // A reflexive pair is refuted structurally — no solver involved, so
     // answer first (the SAT probes below could only also answer false).
@@ -75,7 +78,7 @@ Result<bool> IsCertainOrder(const Specification& spec,
     }
     std::vector<char> refuted(groups.size(), 0);
     exec::CancellationToken cancel;
-    RETURN_IF_ERROR(pool.ParallelFor(
+    RETURN_IF_ERROR(pool->ParallelFor(
         static_cast<int>(groups.size()),
         [&](int k) -> Status {
           ASSIGN_OR_RETURN(Encoder * encoder,

@@ -16,6 +16,10 @@
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
 
+namespace currency::exec {
+class ThreadPool;
+}  // namespace currency::exec
+
 namespace currency::core {
 
 /// One required pair of a currency order Ot: before ≺_attr after.
@@ -45,6 +49,9 @@ struct CopOptions {
   /// that component's solver).  1 (the default) runs sequentially; the
   /// answer is bit-identical for every value.
   int num_threads = 1;
+  /// Optional caller-owned pool reused across calls (overrides
+  /// `num_threads`; not owned).  See CpsOptions::pool.
+  exec::ThreadPool* pool = nullptr;
   Encoder::Options encoder;
 };
 

@@ -1,5 +1,6 @@
 #include "src/core/consistency.h"
 
+#include <optional>
 #include <utility>
 
 #include "src/core/chase.h"
@@ -27,8 +28,10 @@ Result<CpsOutcome> DecideConsistency(const Specification& spec,
     ASSIGN_OR_RETURN(auto decomposed,
                      DecomposedEncoder::Build(spec, options.encoder));
     outcome.components = decomposed->num_components();
-    exec::ThreadPool pool(options.num_threads);
-    ASSIGN_OR_RETURN(outcome.consistent, decomposed->SolveAll({}, &pool));
+    std::optional<exec::ThreadPool> local_pool;
+    exec::ThreadPool* pool =
+        exec::ResolvePool(options.pool, options.num_threads, local_pool);
+    ASSIGN_OR_RETURN(outcome.consistent, decomposed->SolveAll({}, pool));
     if (outcome.consistent && options.want_witness) {
       ASSIGN_OR_RETURN(Completion witness, decomposed->ExtractCompletion());
       outcome.witness = std::move(witness);

@@ -16,6 +16,10 @@
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
 
+namespace currency::exec {
+class ThreadPool;
+}  // namespace currency::exec
+
 namespace currency::core {
 
 /// Options for DecideConsistency.
@@ -36,6 +40,12 @@ struct CpsOptions {
   /// calling thread; 1 (the default) runs strictly sequentially.  Answers
   /// and witnesses are bit-identical for every value.
   int num_threads = 1;
+  /// Optional caller-owned pool for the decomposed path, reused across
+  /// calls instead of spawning pool threads per invocation (the serving
+  /// layer passes its session pool).  When set it overrides
+  /// `num_threads`; not owned — it must outlive the call and must not be
+  /// inside a concurrent ParallelFor region.
+  exec::ThreadPool* pool = nullptr;
   Encoder::Options encoder;
 };
 

@@ -3,11 +3,38 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <string>
 #include <utility>
 
 namespace currency::core {
 
 namespace {
+
+/// 64-bit FNV-1a-style accumulator for component fingerprints.  Not
+/// cryptographic: the serving layer's cache reuse is correct modulo
+/// 64-bit collisions, which is the usual content-hash trade-off.
+struct Fingerprinter {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+
+  void Mix(uint64_t x) {
+    for (int k = 0; k < 8; ++k) {
+      h ^= (x >> (8 * k)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  }
+  void MixValue(const Value& v) {
+    // Value::Hash is consistent with operator== (Int/Double interleave),
+    // matching the equality the encoder's cell dedup uses.
+    Mix(static_cast<uint64_t>(v.Hash()));
+  }
+  void MixString(const std::string& s) {
+    Mix(s.size());
+    for (char ch : s) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 1099511628211ull;
+    }
+  }
+};
 
 /// Plain union-find over dense node ids.
 class UnionFind {
@@ -106,6 +133,87 @@ Result<Decomposition> Decomposition::Build(const Specification& spec) {
     }
     d.instance_components_[i].assign(comps.begin(), comps.end());
   }
+
+  // --- Component fingerprints -------------------------------------------
+  // Contributions accumulate strictly in the deterministic iteration
+  // orders below (nodes in first-encounter order, entity groups and
+  // buckets in Value order, mappings in TupleId order), so a component
+  // with identical content hashes identically across rebuilds over a
+  // mutated specification.  Coverage: a per-component encoder build reads
+  // (a) its member tuples, (b) the initial orders among them, (c) the
+  // ≥2-distinct-source copy buckets — single-source buckets emit neither
+  // ≺-compatibility clauses nor chase derivations, both of which need two
+  // mappings with distinct sources — and (d) the owning instances'
+  // denial-constraint texts, whose groundings are a function of the texts
+  // and the member values; chase seeding, when enabled, derives only from
+  // (b) + (c) inside the component.  Options and schemas are
+  // edit-invariant and deliberately not hashed.
+  std::vector<Fingerprinter> fp(d.components_.size());
+  std::vector<uint64_t> constraint_hash(spec.num_instances(), 0);
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    Fingerprinter ch;
+    for (const auto& dc : spec.constraints_for(i)) {
+      ch.MixString(dc.ToString(spec.instance(i).schema()));
+    }
+    constraint_hash[i] = ch.h;
+  }
+  for (size_t c = 0; c < d.components_.size(); ++c) {
+    for (const EntityNode& node : d.components_[c]) {
+      const Relation& rel = spec.instance(node.inst).relation();
+      fp[c].Mix(0xA0);  // domain separator: nodes + members
+      fp[c].Mix(static_cast<uint64_t>(node.inst));
+      fp[c].MixValue(node.eid);
+      fp[c].Mix(constraint_hash[node.inst]);
+      for (TupleId t : rel.EntityGroups().at(node.eid)) {
+        fp[c].Mix(static_cast<uint64_t>(t));
+        for (const Value& v : rel.tuple(t).values()) fp[c].MixValue(v);
+      }
+    }
+  }
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const TemporalInstance& inst = spec.instance(i);
+    for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+      for (auto [u, v] : inst.order(a).Pairs()) {
+        // Both endpoints share an entity (the AddOrder invariant), so the
+        // pair lands in exactly one component.
+        int c = d.node_component_[i].at(inst.relation().tuple(u).eid());
+        fp[c].Mix(0xB0);  // domain separator: initial orders
+        fp[c].Mix(static_cast<uint64_t>(a));
+        fp[c].Mix(static_cast<uint64_t>(u));
+        fp[c].Mix(static_cast<uint64_t>(v));
+      }
+    }
+  }
+  for (size_t e = 0; e < spec.copy_edges().size(); ++e) {
+    const CopyEdge& edge = spec.copy_edges()[e];
+    const Relation& target = spec.instance(edge.target_instance).relation();
+    const Relation& source = spec.instance(edge.source_instance).relation();
+    std::map<std::pair<Value, Value>, std::vector<std::pair<TupleId, TupleId>>>
+        bucket_mapped;
+    std::map<std::pair<Value, Value>, std::set<TupleId>> bucket_srcs;
+    for (const auto& [t, s] : edge.fn.mapping()) {
+      auto key = std::make_pair(target.tuple(t).eid(), source.tuple(s).eid());
+      bucket_mapped[key].emplace_back(t, s);
+      bucket_srcs[key].insert(s);
+    }
+    for (const auto& [key, mapped] : bucket_mapped) {
+      if (bucket_srcs.at(key).size() < 2) continue;  // inert bucket
+      // A coupling bucket's target and source groups share a component.
+      int c = d.node_component_[edge.target_instance].at(key.first);
+      fp[c].Mix(0xC0);  // domain separator: coupling copy buckets
+      fp[c].Mix(e);
+      fp[c].MixValue(key.first);
+      fp[c].MixValue(key.second);
+      for (auto [t, s] : mapped) {
+        fp[c].Mix(static_cast<uint64_t>(t));
+        fp[c].Mix(static_cast<uint64_t>(s));
+      }
+    }
+  }
+  d.fingerprints_.resize(d.components_.size());
+  for (size_t c = 0; c < d.components_.size(); ++c) {
+    d.fingerprints_[c] = fp[c].h;
+  }
   return d;
 }
 
@@ -180,6 +288,24 @@ Result<Encoder*> DecomposedEncoder::ComponentEncoder(int c) {
     ASSIGN_OR_RETURN(encoders_[c], Encoder::Build(*spec_, options));
   }
   return encoders_[c].get();
+}
+
+std::unique_ptr<Encoder> DecomposedEncoder::TakeComponentEncoder(int c) {
+  if (c < 0 || c >= num_components()) return nullptr;
+  return std::move(encoders_[c]);
+}
+
+Status DecomposedEncoder::AdoptComponentEncoder(
+    int c, std::unique_ptr<Encoder> encoder) {
+  if (c < 0 || c >= num_components()) {
+    return Status::InvalidArgument("component index out of range");
+  }
+  if (encoders_[c] != nullptr) {
+    return Status::FailedPrecondition(
+        "component " + std::to_string(c) + " already has an encoder");
+  }
+  encoders_[c] = std::move(encoder);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<Encoder>> DecomposedEncoder::BuildMergedEncoder(

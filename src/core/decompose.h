@@ -32,6 +32,7 @@
 #ifndef CURRENCY_SRC_CORE_DECOMPOSE_H_
 #define CURRENCY_SRC_CORE_DECOMPOSE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -85,12 +86,27 @@ class Decomposition {
   /// An EntityFilter admitting exactly the nodes of the given components.
   EntityFilter FilterFor(const std::vector<int>& components) const;
 
+  /// Content fingerprint of component `c`: a 64-bit hash over every input
+  /// a per-component encoder build reads — the member tuples (ids and
+  /// values), the initial currency-order pairs among them, the coupling
+  /// copy buckets (≥ 2 distinct sources; single-source buckets emit no
+  /// clauses and no chase derivations, see the Build comment), and the
+  /// owning instances' denial-constraint texts (groundings are a function
+  /// of those texts and the member values).  Fingerprints are comparable
+  /// across Decomposition rebuilds over a mutated specification: equal
+  /// fingerprints mean identical encoding inputs (modulo 64-bit hash
+  /// collisions), which is what lets the serving layer re-use component
+  /// encoders and cached results across Mutate epochs and re-encode
+  /// exactly the components an edit touched.
+  uint64_t fingerprint(int c) const { return fingerprints_[c]; }
+
  private:
   int num_instances_ = 0;
   std::vector<std::vector<EntityNode>> components_;
   /// node_component_[i]: eid -> component id, per instance.
   std::vector<std::map<Value, int>> node_component_;
   std::vector<std::vector<int>> instance_components_;
+  std::vector<uint64_t> fingerprints_;
 };
 
 /// One small SAT encoder per coupling component, sharing one specification
@@ -126,6 +142,24 @@ class DecomposedEncoder {
   /// which mutates its encoder with blocking clauses.
   Result<std::unique_ptr<Encoder>> BuildMergedEncoder(
       const std::vector<int>& components) const;
+
+  /// Pass-through to Decomposition::fingerprint.
+  uint64_t component_fingerprint(int c) const {
+    return decomposition_.fingerprint(c);
+  }
+
+  /// Moves component `c`'s built encoder out of the cache (nullptr when
+  /// the component was never built); the slot reverts to lazy.  The
+  /// serving layer harvests encoders this way before rebuilding over a
+  /// mutated specification.
+  std::unique_ptr<Encoder> TakeComponentEncoder(int c);
+
+  /// Installs an encoder previously taken from a component with an equal
+  /// fingerprint of a prior build over the same specification object and
+  /// the same options.  The fingerprint check is the caller's
+  /// responsibility — adopting a mismatched encoder silently corrupts
+  /// answers.  Fails when the slot is already occupied.
+  Status AdoptComponentEncoder(int c, std::unique_ptr<Encoder> encoder);
 
   /// Solves every component not listed in `skip`, smallest encoding
   /// first, short-circuiting on the first UNSAT component.  Returns true

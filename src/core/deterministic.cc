@@ -1,5 +1,6 @@
 #include "src/core/deterministic.h"
 
+#include <optional>
 #include <vector>
 
 #include "src/core/chase.h"
@@ -8,15 +9,15 @@
 
 namespace currency::core {
 
-namespace {
+namespace internal {
 
 /// Shared implementation deciding determinism for one instance index given
 /// an already-built encoder whose formula was just solved satisfiable (the
 /// model is current).  On a component encoder, only the groups it defines
 /// is-last selectors for are examined — the others belong to different
 /// coupling components and are checked against their own encoders.
-Result<bool> DeterministicViaSat(const Specification& spec, Encoder* encoder,
-                                 int inst) {
+Result<bool> DeterministicProbe(const Specification& spec, Encoder* encoder,
+                                int inst) {
   const TemporalInstance& instance = spec.instance(inst);
   const Relation& rel = instance.relation();
   // Phase 1 — snapshot every baseline from the model in hand, BEFORE any
@@ -68,6 +69,10 @@ Result<bool> DeterministicViaSat(const Specification& spec, Encoder* encoder,
   return true;
 }
 
+}  // namespace internal
+
+namespace {
+
 /// PTIME path (Theorem 6.1(3)): deterministic iff for each entity and
 /// attribute, all sinks of PO∞ agree on the attribute value.
 Result<bool> DeterministicViaChase(const Specification& spec,
@@ -105,8 +110,10 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
   enc.define_is_last = true;
   if (options.use_decomposition) {
     ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
-    exec::ThreadPool pool(options.num_threads);
-    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, &pool));
+    std::optional<exec::ThreadPool> local_pool;
+    exec::ThreadPool* pool =
+        exec::ResolvePool(options.pool, options.num_threads, local_pool);
+    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, pool));
     if (!consistent) return true;  // vacuous
     // Each entity group's determinism is decided by its own component
     // (SolveAll left every component encoder holding a model), so the
@@ -116,13 +123,13 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
         decomposed->decomposition().ComponentsOfInstance(inst);
     std::vector<char> nondeterministic(components.size(), 0);
     exec::CancellationToken cancel;
-    RETURN_IF_ERROR(pool.ParallelFor(
+    RETURN_IF_ERROR(pool->ParallelFor(
         static_cast<int>(components.size()),
         [&](int k) -> Status {
           ASSIGN_OR_RETURN(Encoder * encoder,
                            decomposed->ComponentEncoder(components[k]));
           ASSIGN_OR_RETURN(bool deterministic,
-                           DeterministicViaSat(spec, encoder, inst));
+                           internal::DeterministicProbe(spec, encoder, inst));
           if (!deterministic) {
             nondeterministic[k] = 1;
             cancel.Cancel();
@@ -139,7 +146,7 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
   if (encoder->solver().Solve() == sat::SolveResult::kUnsat) {
     return true;  // vacuous
   }
-  return DeterministicViaSat(spec, encoder.get(), inst);
+  return internal::DeterministicProbe(spec, encoder.get(), inst);
 }
 
 Result<bool> IsDeterministic(const Specification& spec,

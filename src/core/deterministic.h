@@ -15,6 +15,10 @@
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
 
+namespace currency::exec {
+class ThreadPool;
+}  // namespace currency::exec
+
 namespace currency::core {
 
 /// Options for the DCIP solvers.
@@ -29,6 +33,9 @@ struct DcipOptions {
   /// probe sequence is confined to one task).  1 (the default) runs
   /// sequentially; the answer is bit-identical for every value.
   int num_threads = 1;
+  /// Optional caller-owned pool reused across calls (overrides
+  /// `num_threads`; not owned).  See CpsOptions::pool.
+  exec::ThreadPool* pool = nullptr;
   Encoder::Options encoder;
 };
 
@@ -40,6 +47,22 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
 /// Decides whether S is deterministic for all its current instances.
 Result<bool> IsDeterministic(const Specification& spec,
                              const DcipOptions& options = {});
+
+namespace internal {
+
+/// The SAT-path determinism probe shared by the one-shot DCIP solvers and
+/// the serving layer's DcipBatch: decides determinism of `inst`'s entity
+/// groups whose is-last selectors `encoder` defines (on a component
+/// encoder that is exactly the component's own groups).  Requires the
+/// encoder's solver to currently hold a satisfying model; the probe
+/// sequence generally leaves it without one, so callers re-Solve before
+/// probing again.  The answer is model-independent: whichever baseline
+/// model is in hand, some alternative-value candidate is satisfiable iff
+/// the group's current instance is not unique.
+Result<bool> DeterministicProbe(const Specification& spec, Encoder* encoder,
+                                int inst);
+
+}  // namespace internal
 
 }  // namespace currency::core
 

@@ -1,5 +1,7 @@
 #include "src/core/specification.h"
 
+#include <utility>
+
 #include "src/constraints/parser.h"
 
 namespace currency::core {
@@ -94,6 +96,91 @@ Result<TupleId> Specification::AppendCopiedTuple(int copy_edge_index,
   ASSIGN_OR_RETURN(TupleId id, target.AppendTuple(Tuple(std::move(values))));
   RETURN_IF_ERROR(edge.fn.Map(id, source_tuple));
   return id;
+}
+
+Status Specification::ApplyTupleEdits(const std::vector<TupleEdit>& edits) {
+  // Phase 1 — read-only validation of ranges and the same-entity order
+  // invariant, so most failures reject before anything is written.
+  for (const TupleEdit& e : edits) {
+    if (e.instance < 0 || e.instance >= num_instances()) {
+      return Status::InvalidArgument("tuple edit references instance " +
+                                     std::to_string(e.instance) +
+                                     " which does not exist");
+    }
+    const TemporalInstance& inst = instances_[e.instance];
+    const Relation& rel = inst.relation();
+    if (e.tuple < 0 || e.tuple >= rel.size()) {
+      return Status::InvalidArgument("tuple edit references tuple " +
+                                     std::to_string(e.tuple) +
+                                     " out of range for " + inst.name());
+    }
+    if (e.attr < 0 || e.attr >= inst.schema().arity()) {
+      return Status::InvalidArgument("tuple edit references attribute " +
+                                     std::to_string(e.attr) +
+                                     " out of range for " + inst.name());
+    }
+    if (e.attr == 0 && !(rel.tuple(e.tuple).eid() == e.new_value)) {
+      // Moving a tuple to another entity would strand any initial order
+      // pair it participates in (orders relate same-entity tuples only).
+      // The check reads the pre-batch orders, which edits never change;
+      // order partners all share the tuple's current entity (the AddOrder
+      // invariant — and EID-edited tuples provably have no pairs), so
+      // only the tuple's own group needs probing.
+      for (AttrIndex a = 1; a < inst.schema().arity(); ++a) {
+        const PartialOrder& po = inst.order(a);
+        for (TupleId v : rel.EntityGroups().at(rel.tuple(e.tuple).eid())) {
+          if (po.Less(e.tuple, v) || po.Less(v, e.tuple)) {
+            return Status::FailedPrecondition(
+                "EID edit on tuple " + std::to_string(e.tuple) + " of " +
+                inst.name() +
+                " would strand an initial currency-order pair");
+          }
+        }
+      }
+    }
+  }
+  // Phase 2 — apply, remembering prior values so phase 3 can roll back.
+  std::vector<Value> previous;
+  previous.reserve(edits.size());
+  for (const TupleEdit& e : edits) {
+    previous.push_back(instances_[e.instance].relation().tuple(e.tuple).at(e.attr));
+    RETURN_IF_ERROR(
+        instances_[e.instance].UpdateValue(e.tuple, e.attr, e.new_value));
+  }
+  // Phase 3 — the copying condition of every copy function touching an
+  // edited instance must still hold (AddCopyFunction established it; a
+  // fresh specification over the edited data would re-check it).  On
+  // failure, undo in reverse order so duplicate edits of one cell unwind
+  // correctly.
+  std::vector<char> touched(num_instances(), 0);
+  for (const TupleEdit& e : edits) touched[e.instance] = 1;
+  Status violated = Status::OK();
+  for (const CopyEdge& edge : copy_edges_) {
+    if (!touched[edge.target_instance] && !touched[edge.source_instance]) {
+      continue;
+    }
+    violated = edge.fn.Validate(instances_[edge.target_instance].relation(),
+                                instances_[edge.source_instance].relation());
+    if (!violated.ok()) break;
+  }
+  if (!violated.ok()) {
+    for (size_t k = edits.size(); k-- > 0;) {
+      const TupleEdit& e = edits[k];
+      Status undo = instances_[e.instance].UpdateValue(e.tuple, e.attr,
+                                                       std::move(previous[k]));
+      if (!undo.ok()) return undo;  // cannot happen: ranges validated above
+    }
+    // Re-warm the entity-group caches UpdateValue reset: a caller whose
+    // batch was rejected keeps using the specification as-is (the serving
+    // layer skips its epoch rebuild — the usual cache warmer — and its
+    // parallel batches require EntityGroups() to be pre-built, per the
+    // thread-confinement contract in src/core/decompose.h).
+    for (int i = 0; i < num_instances(); ++i) {
+      if (touched[i]) (void)instances_[i].relation().EntityGroups();
+    }
+    return violated;
+  }
+  return Status::OK();
 }
 
 query::Database Specification::EmbeddedDatabase() const {

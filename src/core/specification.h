@@ -25,6 +25,17 @@ struct CopyEdge {
   copy::CopyFunction fn;
 };
 
+/// One in-place cell overwrite of a specification's data: tuple `tuple` of
+/// instance `instance` gets `new_value` at attribute `attr`.  Attribute 0
+/// is the EID, so an EID edit moves the tuple between entity groups —
+/// the coupling-component split/merge case of the serving layer.
+struct TupleEdit {
+  int instance = -1;
+  TupleId tuple = -1;
+  AttrIndex attr = -1;
+  Value new_value;
+};
+
 /// A specification S = ({D_t,i}, {Σ_i}, {ρ_(i,j)}).  Value-semantic: copies
 /// are deep, which the currency-preservation solvers rely on when building
 /// extensions Se.
@@ -73,6 +84,22 @@ class Specification {
   /// tuple's id.
   Result<TupleId> AppendCopiedTuple(int copy_edge_index, TupleId source_tuple,
                                     const Value& target_eid);
+
+  /// Applies a batch of cell edits atomically: either every edit is
+  /// applied or, on any validation failure, the specification is left
+  /// exactly as before (rollback) and an error is returned.  Validated
+  /// invariants:
+  ///   * instance / tuple / attribute ranges;
+  ///   * an EID edit must not strand initial currency-order pairs
+  ///     (orders only relate same-entity tuples, Section 2), so it is
+  ///     rejected when the tuple participates in any initial order;
+  ///   * the copying condition t[A_i] = ρ(t)[B_i] of every copy function
+  ///     touching an edited instance must still hold afterwards.
+  /// Tuple ids, instance indices, constraints and copy mappings are all
+  /// unchanged by construction, so solver results on the edited
+  /// specification are comparable to a freshly constructed one — the
+  /// serving layer's Mutate path builds on this.
+  Status ApplyTupleEdits(const std::vector<TupleEdit>& edits);
 
   /// View of the embedded normal instances as a query::Database
   /// (borrowed pointers into this specification).

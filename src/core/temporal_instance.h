@@ -8,6 +8,7 @@
 #define CURRENCY_SRC_CORE_TEMPORAL_INSTANCE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -43,6 +44,16 @@ class TemporalInstance {
   /// Appends a tuple (no initial orders on it).  Used when extensions of
   /// copy functions import new tuples (Section 4).
   Result<TupleId> AppendTuple(Tuple tuple);
+
+  /// Overwrites one cell of the relation in place; the currency orders are
+  /// untouched (tuple ids are stable under UpdateValue).  Callers must
+  /// keep the same-entity invariant of the orders — an EID edit on a tuple
+  /// with initial order pairs would strand them, which is why
+  /// Specification::ApplyTupleEdits (the only intended caller) rejects
+  /// such edits up front.
+  Status UpdateValue(TupleId id, AttrIndex attr, Value v) {
+    return relation_.UpdateValue(id, attr, std::move(v));
+  }
 
   /// Total number of same-entity tuple pairs (u < v), i.e. the number of
   /// order decisions a completion has to make per attribute.

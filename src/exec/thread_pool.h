@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -106,6 +107,19 @@ class ThreadPool {
   std::uint64_t generation_ = 0; // guarded by mu_; bumps per region
   bool shutdown_ = false;        // guarded by mu_
 };
+
+/// Resolves an optional caller-owned pool: returns `pool` when non-null
+/// (the serving layer passes its long-lived session pool this way),
+/// otherwise emplaces a fresh pool of `num_threads` into `local` and
+/// returns that.  The decision procedures call this instead of
+/// constructing a pool per invocation, so pool threads are spawned once
+/// per session rather than once per query when a caller provides one.
+inline ThreadPool* ResolvePool(ThreadPool* pool, int num_threads,
+                               std::optional<ThreadPool>& local) {
+  if (pool != nullptr) return pool;
+  local.emplace(num_threads);
+  return &*local;
+}
 
 }  // namespace currency::exec
 

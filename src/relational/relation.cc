@@ -16,6 +16,21 @@ Result<TupleId> Relation::Append(Tuple tuple) {
   return static_cast<TupleId>(tuples_.size() - 1);
 }
 
+Status Relation::UpdateValue(TupleId id, AttrIndex attr, Value v) {
+  if (id < 0 || id >= size()) {
+    return Status::InvalidArgument("tuple id " + std::to_string(id) +
+                                   " out of range for " +
+                                   schema_.relation_name());
+  }
+  if (attr < 0 || attr >= schema_.arity()) {
+    return Status::InvalidArgument("attribute index " + std::to_string(attr) +
+                                   " out of range for " + schema_.ToString());
+  }
+  tuples_[id].at(attr) = std::move(v);
+  entity_groups_.reset();
+  return Status::OK();
+}
+
 std::vector<Value> Relation::Entities() const {
   std::set<Value> seen;
   for (const Tuple& t : tuples_) seen.insert(t.eid());

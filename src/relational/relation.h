@@ -40,6 +40,13 @@ class Relation {
     return Append(Tuple(std::move(values)));
   }
 
+  /// Overwrites one cell in place (attr 0 is the EID, so an EID edit moves
+  /// the tuple between entity groups).  The tuple count and all TupleIds
+  /// are stable, which is what lets partial currency orders and copy
+  /// mappings keep their referents across edits — the serving layer's
+  /// Mutate path relies on this.  Invalidates EntityGroups().
+  Status UpdateValue(TupleId id, AttrIndex attr, Value v);
+
   int size() const { return static_cast<int>(tuples_.size()); }
   bool empty() const { return tuples_.empty(); }
   const Tuple& tuple(TupleId id) const { return tuples_[id]; }

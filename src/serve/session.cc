@@ -1,0 +1,363 @@
+#include "src/serve/session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <utility>
+
+#include "src/core/deterministic.h"
+#include "src/sat/solver.h"
+
+namespace currency::serve {
+
+using core::DecomposedEncoder;
+using core::Encoder;
+
+namespace {
+
+/// Shared batch-routing scaffold for CopBatch and DcipBatch: runs `probe`
+/// once per coupling component over that component's request list (in
+/// parallel on the session pool), then flips the answer of every item a
+/// probe reported — "hit" means refuted for COP, non-deterministic for
+/// DCIP.  Per-task hit slots keep the aggregation race-free, and each
+/// component's request list is processed in batch order by exactly one
+/// task, so every solver's call sequence is reproducible for every
+/// thread count.
+template <typename Request, typename Probe>
+Status FlipItemsPerComponent(
+    DecomposedEncoder* decomposed, exec::ThreadPool* pool,
+    const std::map<int, std::vector<Request>>& by_component,
+    const Probe& probe, std::vector<bool>* out) {
+  std::vector<std::pair<int, const std::vector<Request>*>> groups;
+  groups.reserve(by_component.size());
+  for (const auto& [c, requests] : by_component) {
+    groups.emplace_back(c, &requests);
+  }
+  std::vector<std::vector<int>> hits(groups.size());
+  RETURN_IF_ERROR(pool->ParallelFor(
+      static_cast<int>(groups.size()), [&](int k) -> Status {
+        ASSIGN_OR_RETURN(Encoder * encoder,
+                         decomposed->ComponentEncoder(groups[k].first));
+        return probe(encoder, *groups[k].second, &hits[k]);
+      }));
+  for (const std::vector<int>& items : hits) {
+    for (int item : items) (*out)[item] = false;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CurrencySession::CurrencySession(core::Specification spec,
+                                 const SessionOptions& options)
+    : spec_(std::move(spec)),
+      options_(options),
+      enc_(options.encoder),
+      pool_(options.num_threads) {
+  // One cached encoding serves all four problems: CPS and COP ignore the
+  // is-last selectors, DCIP and CCQA need them.
+  enc_.define_is_last = true;
+  // Session-managed knobs (DecomposedEncoder::Build sets these itself).
+  enc_.restrict_to = nullptr;
+  enc_.copy_index = nullptr;
+  enc_.chase_seed = nullptr;
+}
+
+Result<std::unique_ptr<CurrencySession>> CurrencySession::Create(
+    core::Specification spec, const SessionOptions& options) {
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("SessionOptions.num_threads must be >= 1");
+  }
+  std::unique_ptr<CurrencySession> session(
+      new CurrencySession(std::move(spec), options));
+  RETURN_IF_ERROR(session->BuildEpoch());
+  return session;
+}
+
+Status CurrencySession::BuildEpoch() {
+  ASSIGN_OR_RETURN(decomposed_, DecomposedEncoder::Build(spec_, enc_));
+  sat_.assign(decomposed_->num_components(), std::nullopt);
+  return Status::OK();
+}
+
+Result<bool> CurrencySession::EnsureAllSolved() {
+  int n = decomposed_->num_components();
+  std::vector<int> todo;
+  for (int c = 0; c < n; ++c) {
+    if (!sat_[c].has_value()) {
+      todo.push_back(c);
+    } else if (!*sat_[c]) {
+      return false;  // a cached UNSAT answers without touching the pool
+    }
+  }
+  if (todo.empty()) return true;
+  // Solve the unknown components on the shared pool.  Per-task results
+  // land in their own slots; the first UNSAT cancels the unclaimed rest,
+  // whose slots stay unknown — sound, since the answer is already false
+  // and a later batch re-solves them through this same path.
+  std::vector<std::optional<bool>> outcome(todo.size());
+  std::atomic<int64_t> solves{0};
+  exec::CancellationToken cancel;
+  RETURN_IF_ERROR(pool_.ParallelFor(
+      static_cast<int>(todo.size()),
+      [&](int k) -> Status {
+        ASSIGN_OR_RETURN(Encoder * encoder,
+                         decomposed_->ComponentEncoder(todo[k]));
+        bool sat = encoder->solver().Solve() == sat::SolveResult::kSat;
+        solves.fetch_add(1, std::memory_order_relaxed);
+        outcome[k] = sat;
+        if (!sat) cancel.Cancel();
+        return Status::OK();
+      },
+      &cancel));
+  stats_.base_solves += solves.load(std::memory_order_relaxed);
+  bool consistent = true;
+  for (size_t k = 0; k < todo.size(); ++k) {
+    if (outcome[k].has_value()) {
+      sat_[todo[k]] = outcome[k];
+      if (!*outcome[k]) consistent = false;
+    } else {
+      consistent = false;  // skipped by cancellation ⇒ some task was UNSAT
+    }
+  }
+  return consistent;
+}
+
+Result<bool> CurrencySession::CpsCheck() { return EnsureAllSolved(); }
+
+Result<std::vector<bool>> CurrencySession::CopBatch(
+    const std::vector<core::CurrencyOrderQuery>& queries) {
+  // Validate the whole batch up front, mirroring the one-shot API's
+  // InvalidArgument behaviour (a malformed item fails the batch before
+  // any solving).
+  std::vector<int> inst_of(queries.size(), -1);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSIGN_OR_RETURN(inst_of[i], spec_.InstanceIndex(queries[i].relation));
+    const core::TemporalInstance& instance = spec_.instance(inst_of[i]);
+    const Relation& rel = instance.relation();
+    for (const core::RequiredPair& p : queries[i].pairs) {
+      if (p.attr < 1 || p.attr >= instance.schema().arity()) {
+        return Status::InvalidArgument(
+            "required pair attribute out of range");
+      }
+      if (p.before < 0 || p.before >= rel.size() || p.after < 0 ||
+          p.after >= rel.size()) {
+        return Status::InvalidArgument("required pair tuple out of range");
+      }
+    }
+  }
+  ASSIGN_OR_RETURN(bool consistent, EnsureAllSolved());
+  std::vector<bool> out(queries.size(), true);
+  if (!consistent) return out;  // Mod(S) = ∅: every order vacuously certain
+
+  // Structural refutations need no solver: a reflexive pair
+  // (irreflexivity) or a cross-entity pair (no order variable relates
+  // tuples of distinct entities) can hold in no completion.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Relation& rel = spec_.instance(inst_of[i]).relation();
+    for (const core::RequiredPair& p : queries[i].pairs) {
+      if (p.before == p.after ||
+          !(rel.tuple(p.before).eid() == rel.tuple(p.after).eid())) {
+        out[i] = false;
+        break;
+      }
+    }
+  }
+
+  // Route the remaining pairs to the component owning their entity.
+  // Within a component, probes keep batch order (the solver call sequence
+  // — hence its learnt-clause state — is reproducible for every thread
+  // count); distinct components probe in parallel on the session pool.
+  struct Probe {
+    int item;
+    const core::RequiredPair* pair;
+  };
+  std::map<int, std::vector<Probe>> by_component;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!out[i]) continue;  // answer already settled structurally
+    const Relation& rel = spec_.instance(inst_of[i]).relation();
+    for (const core::RequiredPair& p : queries[i].pairs) {
+      int c = decomposed_->decomposition().ComponentOf(
+          inst_of[i], rel.tuple(p.before).eid());
+      by_component[c].push_back(Probe{static_cast<int>(i), &p});
+    }
+  }
+  // A query refuted by this component's own earlier probes is skipped
+  // (deterministic), while refutations found concurrently by other
+  // components are deliberately not consulted — cross-task peeking would
+  // make each solver's call sequence depend on timing.
+  RETURN_IF_ERROR(FlipItemsPerComponent(
+      decomposed_.get(), &pool_, by_component,
+      [&](Encoder* encoder, const std::vector<Probe>& probes,
+          std::vector<int>* refuted) -> Status {
+        std::set<int> local_refuted;
+        for (const Probe& probe : probes) {
+          if (local_refuted.count(probe.item)) continue;
+          sat::Lit lit =
+              encoder->OrdLit(inst_of[probe.item], probe.pair->attr,
+                              probe.pair->before, probe.pair->after);
+          if (encoder->solver().SolveWithAssumptions({sat::Negate(lit)}) ==
+              sat::SolveResult::kSat) {
+            // A completion orders them the other way.
+            local_refuted.insert(probe.item);
+            refuted->push_back(probe.item);
+          }
+        }
+        return Status::OK();
+      },
+      &out));
+  return out;
+}
+
+Result<std::vector<bool>> CurrencySession::DcipBatch(
+    const std::vector<std::string>& relations) {
+  std::vector<int> inst_of(relations.size(), -1);
+  for (size_t i = 0; i < relations.size(); ++i) {
+    ASSIGN_OR_RETURN(inst_of[i], spec_.InstanceIndex(relations[i]));
+  }
+  ASSIGN_OR_RETURN(bool consistent, EnsureAllSolved());
+  std::vector<bool> out(relations.size(), true);
+  if (!consistent) return out;  // vacuous
+
+  // Route each item to the components of its instance; a component probes
+  // its requests in batch order, components in parallel.
+  struct Request {
+    int item;
+    int inst;
+  };
+  std::map<int, std::vector<Request>> by_component;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    for (int c :
+         decomposed_->decomposition().ComponentsOfInstance(inst_of[i])) {
+      by_component[c].push_back(Request{static_cast<int>(i), inst_of[i]});
+    }
+  }
+  RETURN_IF_ERROR(FlipItemsPerComponent(
+      decomposed_.get(), &pool_, by_component,
+      [&](Encoder* encoder, const std::vector<Request>& requests,
+          std::vector<int>* nondeterministic) -> Status {
+        for (const Request& req : requests) {
+          // Re-establish a model: earlier COP probes, earlier requests in
+          // this loop, or a previous batch staled it.  The component is
+          // known satisfiable (EnsureAllSolved), so kUnsat is a bug.
+          if (encoder->solver().Solve() != sat::SolveResult::kSat) {
+            return Status::Internal(
+                "cached-SAT component re-solved unsatisfiable");
+          }
+          ASSIGN_OR_RETURN(bool deterministic,
+                           core::internal::DeterministicProbe(
+                               spec_, encoder, req.inst));
+          if (!deterministic) nondeterministic->push_back(req.item);
+        }
+        return Status::OK();
+      },
+      &out));
+  return out;
+}
+
+Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
+    const std::vector<CcqaRequest>& requests) {
+  std::vector<std::vector<int>> instances(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSIGN_OR_RETURN(instances[i],
+                     core::internal::QueryInstances(spec_, requests[i].query));
+    if (requests[i].candidate.has_value() &&
+        static_cast<size_t>(requests[i].candidate->arity()) !=
+            requests[i].query.head.size()) {
+      return Status::InvalidArgument(
+          "candidate tuple arity does not match query head");
+    }
+  }
+  ASSIGN_OR_RETURN(bool consistent, EnsureAllSolved());
+  std::vector<CcqaResponse> out(requests.size());
+  if (!consistent) {
+    // Mod(S) = ∅: membership is vacuously true; the answer set is not a
+    // finite object (the one-shot API reports Status::Inconsistent).
+    for (size_t i = 0; i < requests.size(); ++i) {
+      out[i].vacuous = true;
+      if (requests[i].candidate.has_value()) out[i].is_certain = true;
+    }
+    return out;
+  }
+  core::CcqaOptions ccqa;
+  ccqa.max_current_instances = options_.max_current_instances;
+  // Each request works entirely on fresh merged encoders (the blocking
+  // loops add permanent clauses, so cached component encoders are off
+  // limits), which makes requests independent: they run in parallel on
+  // the session pool and fill only their own response slot.
+  std::atomic<int64_t> merged{0};
+  RETURN_IF_ERROR(pool_.ParallelFor(
+      static_cast<int>(requests.size()), [&](int i) -> Status {
+        std::vector<int> relevant =
+            decomposed_->decomposition().ComponentsOfInstances(instances[i]);
+        auto make_encoder = [&]() -> Result<std::unique_ptr<Encoder>> {
+          merged.fetch_add(1, std::memory_order_relaxed);
+          return decomposed_->BuildMergedEncoder(relevant);
+        };
+        if (requests[i].candidate.has_value()) {
+          ASSIGN_OR_RETURN(auto encoder, make_encoder());
+          ASSIGN_OR_RETURN(
+              bool certain,
+              core::internal::CheckCertainMemberWith(
+                  encoder.get(), spec_, requests[i].query,
+                  *requests[i].candidate, instances[i], ccqa));
+          out[i].is_certain = certain;
+          return Status::OK();
+        }
+        ASSIGN_OR_RETURN(auto seed, make_encoder());
+        ASSIGN_OR_RETURN(
+            std::set<Tuple> answers,
+            core::internal::CertainAnswersVia(seed.get(), make_encoder, spec_,
+                                              requests[i].query, instances[i],
+                                              ccqa));
+        out[i].answers = std::move(answers);
+        return Status::OK();
+      }));
+  stats_.merged_builds += merged.load(std::memory_order_relaxed);
+  return out;
+}
+
+Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {
+  // Atomic: a rejected batch leaves the specification — and therefore
+  // every cache — exactly as it was.
+  RETURN_IF_ERROR(spec_.ApplyTupleEdits(edits));
+  ++stats_.mutations;
+  // Harvest the outgoing epoch into a fingerprint-keyed cache.  Distinct
+  // components always differ in content (each entity group belongs to
+  // exactly one), so fingerprints collide only as 64-bit hash accidents;
+  // a first-wins map is the pragmatic resolution.
+  struct Harvested {
+    std::unique_ptr<Encoder> encoder;
+    std::optional<bool> sat;
+  };
+  std::map<uint64_t, Harvested> cache;
+  for (int c = 0; c < decomposed_->num_components(); ++c) {
+    Harvested h{decomposed_->TakeComponentEncoder(c), sat_[c]};
+    if (h.encoder != nullptr || h.sat.has_value()) {
+      cache.emplace(decomposed_->component_fingerprint(c), std::move(h));
+    }
+  }
+  // Rebuild the coupling graph over the edited specification, then adopt
+  // every component whose content fingerprint is unchanged: its encoder
+  // (clauses, learnt clauses, variable layout) and base-solve result are
+  // still exactly what a fresh build would produce and solve.
+  RETURN_IF_ERROR(BuildEpoch());
+  int n = decomposed_->num_components();
+  int64_t reused = 0;
+  for (int c = 0; c < n; ++c) {
+    auto it = cache.find(decomposed_->component_fingerprint(c));
+    if (it == cache.end()) continue;
+    if (it->second.encoder != nullptr) {
+      RETURN_IF_ERROR(decomposed_->AdoptComponentEncoder(
+          c, std::move(it->second.encoder)));
+    }
+    sat_[c] = it->second.sat;
+    ++reused;
+    cache.erase(it);
+  }
+  stats_.last_reused = reused;
+  stats_.last_invalidated = n - reused;
+  return Status::OK();
+}
+
+}  // namespace currency::serve

@@ -1,0 +1,191 @@
+// currency::serve — the session layer: amortized, batched, incrementally
+// invalidated currency queries against one long-lived specification.
+//
+// The decision procedures in src/core are one-shot: every call rebuilds
+// the DecomposedEncoder (coupling graph, copy-bucket index, per-component
+// filters, per-component SAT encodings) and spawns a thread pool, even
+// when a client asks hundreds of queries against the same specification.
+// Real serving workloads — Improve3C-style cleaning loops, dashboards
+// polling currency invariants, batch auditors — look different: register
+// a specification once, fire batches of CPS/COP/DCIP/CCQA queries, edit a
+// few tuples, repeat.  CurrencySession is that workload's entry point.
+//
+// Amortization model:
+//   * The DecomposedEncoder build happens once per epoch (registration or
+//     Mutate), not once per query.
+//   * Component encoders build lazily and persist across requests; their
+//     base solves are cached, so a warm CpsCheck is a cache scan with
+//     zero solver calls.
+//   * One exec::ThreadPool is owned by the session and shared by every
+//     request (the one-shot APIs gained a matching CpsOptions::pool knob
+//     so they can borrow a caller's pool the same way).
+//   * Mutate(edits) applies in-place tuple edits, re-derives the coupling
+//     graph, fingerprints every component (Decomposition::fingerprint)
+//     and re-adopts the encoder and cached result of every component
+//     whose fingerprint is unchanged — exactly the components an edit
+//     touched are re-encoded and re-solved.
+//
+// Determinism contract: every batch answer equals the answer a fresh
+// build over the session's current specification would give.  Two facts
+// carry the argument: (1) cached component solvers accumulate learnt
+// clauses across requests, which never changes satisfiability answers
+// (learnt clauses are implied) and the COP/DCIP probes are
+// model-independent by construction; (2) every operation that adds
+// permanent clauses beyond the base encoding — CCQA's blocking loops —
+// runs on a fresh throwaway merged encoder, never on a cached component
+// encoder.  tests/session_equivalence_test.cc property-checks this
+// against fresh solves AND the brute-force oracle across thread counts
+// and mutation sequences.
+//
+// Threading: a CurrencySession serves one request at a time (no internal
+// request queue; callers serialize).  Each batch call parallelizes
+// internally across components / batch items on the session pool.
+
+#ifndef CURRENCY_SRC_SERVE_SESSION_H_
+#define CURRENCY_SRC_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/ccqa.h"
+#include "src/core/certain_order.h"
+#include "src/core/decompose.h"
+#include "src/core/specification.h"
+#include "src/exec/thread_pool.h"
+#include "src/query/parser.h"
+
+namespace currency::serve {
+
+/// Options fixed at session creation.
+struct SessionOptions {
+  /// Pool size shared by every request (counts the calling thread, like
+  /// the one-shot num_threads knobs; 1 runs strictly sequentially).
+  int num_threads = 1;
+  /// Budget forwarded to CCQA's enumeration/blocking loops.
+  int64_t max_current_instances = 1'000'000;
+  /// Base encoder options.  define_is_last is forced on (one cached
+  /// encoding serves CPS, COP, DCIP and CCQA); restrict_to / copy_index /
+  /// chase_seed are session-managed and ignored.
+  core::Encoder::Options encoder;
+};
+
+/// Observability counters (monotonic unless noted).
+struct SessionStats {
+  /// Mutate calls applied successfully.
+  int64_t mutations = 0;
+  /// Component base solves performed (cache misses across all requests).
+  int64_t base_solves = 0;
+  /// Fresh merged encoders built for CCQA requests.
+  int64_t merged_builds = 0;
+  /// Components of the current epoch that re-used a previous epoch's
+  /// encoder or result after the most recent Mutate (not monotonic).
+  int64_t last_reused = 0;
+  /// Components of the current epoch that the most recent Mutate
+  /// invalidated — i.e. must rebuild and re-solve (not monotonic).
+  int64_t last_invalidated = 0;
+};
+
+/// One CCQA batch item: a full answer-set request (no candidate) or a
+/// certain-membership request for `candidate`.
+struct CcqaRequest {
+  query::Query query;
+  std::optional<Tuple> candidate;
+};
+
+/// Result of one CCQA batch item.
+struct CcqaResponse {
+  /// True iff Mod(S) = ∅, making every tuple vacuously certain (the
+  /// one-shot CertainCurrentAnswers reports this as Status::Inconsistent;
+  /// membership requests additionally get is_certain = true, matching
+  /// IsCertainCurrentAnswer's convention).
+  bool vacuous = false;
+  /// Set for membership requests.
+  std::optional<bool> is_certain;
+  /// Set for answer-set requests unless `vacuous`.
+  std::optional<std::set<Tuple>> answers;
+};
+
+/// A long-lived session over one specification.  Create → query batches →
+/// Mutate → query batches → ...; see the file comment for the caching and
+/// determinism contract.
+class CurrencySession {
+ public:
+  /// Registers `spec` (moved in) and builds the first epoch: coupling
+  /// graph, fingerprints, per-component filters.  No SAT solving happens
+  /// yet — base solves are paid by the first query batch.
+  static Result<std::unique_ptr<CurrencySession>> Create(
+      core::Specification spec, const SessionOptions& options = {});
+
+  /// The session's current (possibly mutated) specification.
+  const core::Specification& spec() const { return spec_; }
+  const SessionStats& stats() const { return stats_; }
+  int num_components() const { return decomposed_->num_components(); }
+
+  /// CPS: is Mod(S) non-empty?  Cold calls solve every unknown component
+  /// in parallel (first-UNSAT cancellation); warm calls answer from the
+  /// per-component result cache.
+  Result<bool> CpsCheck();
+
+  /// COP for a batch of currency-order queries, answered in request
+  /// order.  Pairs are routed to the component owning their entity and
+  /// refuted in parallel across components; pairs sharing a component
+  /// probe its solver sequentially in batch order.
+  Result<std::vector<bool>> CopBatch(
+      const std::vector<core::CurrencyOrderQuery>& queries);
+
+  /// DCIP for a batch of relation names, answered in request order.  Each
+  /// relation's determinism is probed per owning component, components in
+  /// parallel.
+  Result<std::vector<bool>> DcipBatch(
+      const std::vector<std::string>& relations);
+
+  /// CCQA for a batch of answer-set / certain-membership requests,
+  /// answered in request order.  Each request works on fresh merged
+  /// encoders covering only the components its query touches, so requests
+  /// run in parallel without sharing mutable solver state.
+  Result<std::vector<CcqaResponse>> CcqaBatch(
+      const std::vector<CcqaRequest>& requests);
+
+  /// Applies `edits` to the specification atomically (see
+  /// Specification::ApplyTupleEdits for the validated invariants; on
+  /// validation failure nothing changes, including the caches), then
+  /// recomputes the coupling graph and invalidates exactly the components
+  /// whose content fingerprint changed.  Unchanged components keep their
+  /// encoder and cached base-solve result, so the next batch re-solves
+  /// only what the edits touched.
+  Status Mutate(const std::vector<core::TupleEdit>& edits);
+
+ private:
+  CurrencySession(core::Specification spec, const SessionOptions& options);
+
+  /// (Re)builds decomposed_ over the current spec_ and resets sat_.
+  Status BuildEpoch();
+
+  /// Ensures every component has a cached base-solve result, solving the
+  /// unknown ones on the session pool (first-UNSAT cancellation; slots
+  /// skipped by cancellation stay unknown, which is sound because the
+  /// answer is already false).  Returns the CPS answer: all components
+  /// satisfiable.
+  Result<bool> EnsureAllSolved();
+
+  core::Specification spec_;
+  SessionOptions options_;
+  /// options_.encoder with define_is_last forced and the session-managed
+  /// pointer knobs cleared.
+  core::Encoder::Options enc_;
+  exec::ThreadPool pool_;
+  std::unique_ptr<core::DecomposedEncoder> decomposed_;
+  /// sat_[c]: cached base satisfiability of component c; nullopt = never
+  /// solved in this epoch (or skipped by cancellation).
+  std::vector<std::optional<bool>> sat_;
+  SessionStats stats_;
+};
+
+}  // namespace currency::serve
+
+#endif  // CURRENCY_SRC_SERVE_SESSION_H_

@@ -1,0 +1,249 @@
+// Session-vs-fresh equivalence for the serving layer: every batch answer
+// a CurrencySession gives — cold, warm, and after arbitrary accepted or
+// rejected Mutate batches — must equal the answer of a fresh monolithic
+// build over the session's current specification, and must agree with the
+// brute-force oracle.  The session's caches (component encoders with
+// accumulated learnt clauses, base-solve results, fingerprint-matched
+// reuse across epochs) are exactly the machinery under test, which is why
+// every round re-checks all four problems from scratch.
+//
+// Checked across session thread counts {1, 2, 8}; scripts/check.sh also
+// runs this suite under ThreadSanitizer and AddressSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/brute_force.h"
+#include "src/core/ccqa.h"
+#include "src/core/certain_order.h"
+#include "src/core/consistency.h"
+#include "src/core/deterministic.h"
+#include "src/query/parser.h"
+#include "src/serve/session.h"
+#include "tests/fixtures.h"
+
+namespace currency::serve {
+namespace {
+
+using currency::testing::MakeRandomSpec;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// COP queries exercising same-entity, cross-entity, reflexive and
+/// multi-pair shapes against relation R of the random specifications.
+std::vector<core::CurrencyOrderQuery> MakeCopQueries() {
+  std::vector<core::CurrencyOrderQuery> queries;
+  auto single = [&](core::RequiredPair p) {
+    core::CurrencyOrderQuery q;
+    q.relation = "R";
+    q.pairs = {p};
+    queries.push_back(std::move(q));
+  };
+  single(core::RequiredPair{1, 0, 1});
+  single(core::RequiredPair{2, 1, 0});
+  single(core::RequiredPair{1, 0, 2});  // often cross-entity
+  single(core::RequiredPair{1, 1, 1});  // reflexive
+  core::CurrencyOrderQuery multi;
+  multi.relation = "R";
+  multi.pairs = {core::RequiredPair{1, 0, 1}, core::RequiredPair{2, 2, 3},
+                 core::RequiredPair{1, 1, 0}};
+  queries.push_back(std::move(multi));
+  return queries;
+}
+
+/// Re-checks all four problems on the session against a fresh monolithic
+/// build of session->spec() AND the brute-force oracle.
+void CheckAllProblems(CurrencySession* session) {
+  const core::Specification& spec = session->spec();
+
+  // --- CPS ---
+  {
+    core::CpsOptions cps;
+    cps.use_ptime_path_without_constraints = false;
+    cps.use_decomposition = false;  // fresh MONOLITHIC comparator
+    auto fresh = core::DecideConsistency(spec, cps);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    bool oracle = core::BruteForceConsistent(spec).value();
+    auto got = session->CpsCheck();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, fresh->consistent);
+    EXPECT_EQ(*got, oracle);
+  }
+
+  // --- COP ---
+  {
+    std::vector<core::CurrencyOrderQuery> queries = MakeCopQueries();
+    // Clamp the fixed tuple ids to the relation's actual size.
+    const Relation& rel = spec.instance(0).relation();
+    for (auto& q : queries) {
+      for (auto& p : q.pairs) {
+        p.before = p.before % rel.size();
+        p.after = p.after % rel.size();
+      }
+    }
+    auto got = session->CopBatch(queries);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(got->size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SCOPED_TRACE("cop query " + std::to_string(i));
+      core::CopOptions cop;
+      cop.use_ptime_path_without_constraints = false;
+      cop.use_decomposition = false;
+      auto fresh = core::IsCertainOrder(spec, queries[i], cop);
+      ASSERT_TRUE(fresh.ok()) << fresh.status();
+      EXPECT_EQ((*got)[i], *fresh);
+      EXPECT_EQ((*got)[i],
+                core::BruteForceCertainOrder(spec, queries[i]).value());
+    }
+  }
+
+  // --- DCIP over every relation ---
+  {
+    std::vector<std::string> relations;
+    for (int i = 0; i < spec.num_instances(); ++i) {
+      relations.push_back(spec.instance(i).name());
+    }
+    auto got = session->DcipBatch(relations);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(got->size(), relations.size());
+    for (size_t i = 0; i < relations.size(); ++i) {
+      SCOPED_TRACE("dcip relation " + relations[i]);
+      core::DcipOptions dcip;
+      dcip.use_ptime_path_without_constraints = false;
+      dcip.use_decomposition = false;
+      auto fresh = core::IsDeterministicForRelation(spec, relations[i], dcip);
+      ASSERT_TRUE(fresh.ok()) << fresh.status();
+      EXPECT_EQ((*got)[i], *fresh);
+      EXPECT_EQ((*got)[i],
+                core::BruteForceDeterministic(spec, relations[i]).value());
+    }
+  }
+
+  // --- CCQA: one answer-set request plus membership requests ---
+  {
+    query::Query q =
+        query::ParseQuery("Q(x) := EXISTS y: R('e0', x, y)").value();
+    std::vector<CcqaRequest> requests;
+    requests.push_back(CcqaRequest{q, std::nullopt});
+    for (int k = 0; k < 4; ++k) {
+      requests.push_back(CcqaRequest{q, Tuple({Value(k)})});
+    }
+    auto got = session->CcqaBatch(requests);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(got->size(), requests.size());
+    core::CcqaOptions ccqa;
+    ccqa.use_sp_fast_path = false;
+    ccqa.use_decomposition = false;
+    auto fresh = core::CertainCurrentAnswers(spec, q, ccqa);
+    auto oracle = core::BruteForceCertainAnswers(spec, q);
+    if (!fresh.ok()) {
+      ASSERT_EQ(fresh.status().code(), StatusCode::kInconsistent)
+          << fresh.status();
+      EXPECT_EQ(oracle.status().code(), StatusCode::kInconsistent);
+      EXPECT_TRUE((*got)[0].vacuous);
+      EXPECT_FALSE((*got)[0].answers.has_value());
+    } else {
+      ASSERT_TRUE((*got)[0].answers.has_value());
+      EXPECT_FALSE((*got)[0].vacuous);
+      EXPECT_EQ(*(*got)[0].answers, *fresh);
+      EXPECT_EQ(*(*got)[0].answers, oracle.value());
+    }
+    for (int k = 0; k < 4; ++k) {
+      SCOPED_TRACE("ccqa membership candidate " + std::to_string(k));
+      auto fresh_member =
+          core::IsCertainCurrentAnswer(spec, q, Tuple({Value(k)}), ccqa);
+      ASSERT_TRUE(fresh_member.ok()) << fresh_member.status();
+      ASSERT_TRUE((*got)[k + 1].is_certain.has_value());
+      EXPECT_EQ(*(*got)[k + 1].is_certain, *fresh_member);
+    }
+  }
+}
+
+/// A random edit batch against the MakeRandomSpec shape (R(A, B) plus an
+/// optional R2(C) copying C ⇐ A): no-op rewrites, free B edits, EID moves
+/// (including to a fresh entity — the component split/merge cases), and
+/// copy-consistent coordinated A edits.
+std::vector<core::TupleEdit> MakeRandomEdits(const core::Specification& spec,
+                                             std::mt19937& rng) {
+  auto rnd = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  const Relation& r = spec.instance(0).relation();
+  TupleId t = rnd(0, r.size() - 1);
+  switch (rnd(0, 3)) {
+    case 0: {  // no-op rewrite of an arbitrary cell
+      AttrIndex a = rnd(0, r.schema().arity() - 1);
+      return {core::TupleEdit{0, t, a, r.tuple(t).at(a)}};
+    }
+    case 1:  // free-attribute edit (B is never copied)
+      return {core::TupleEdit{0, t, 2, Value(rnd(0, 3))}};
+    case 2: {  // EID move; may be rejected when t has initial orders
+      const char* eids[] = {"e0", "e1", "e2"};
+      return {core::TupleEdit{0, t, 0, Value(eids[rnd(0, 2)])}};
+    }
+    default: {  // coordinated A edit keeping every copy condition intact
+      Value v(rnd(0, 3));
+      std::vector<core::TupleEdit> edits = {core::TupleEdit{0, t, 1, v}};
+      for (const core::CopyEdge& edge : spec.copy_edges()) {
+        for (const auto& [tgt, src] : edge.fn.mapping()) {
+          if (src == t) {
+            edits.push_back(
+                core::TupleEdit{edge.target_instance, tgt, 1, v});
+          }
+        }
+      }
+      return edits;
+    }
+  }
+}
+
+class SessionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionEquivalence, BatchesMatchFreshSolvesAcrossMutations) {
+  for (int variant = 0; variant < 4; ++variant) {
+    core::Specification spec =
+        MakeRandomSpec(GetParam() * 1237 + variant, variant & 1, variant & 2);
+    for (int threads : kThreadCounts) {
+      SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
+                   " variant=" + std::to_string(variant) +
+                   " threads=" + std::to_string(threads));
+      SessionOptions options;
+      options.num_threads = threads;
+      auto session = CurrencySession::Create(spec, options);
+      ASSERT_TRUE(session.ok()) << session.status();
+      CheckAllProblems(session->get());
+      if (::testing::Test::HasFatalFailure()) return;
+      // Warm re-check: answers must be stable and served from cache.
+      int64_t solves_before = (*session)->stats().base_solves;
+      CheckAllProblems(session->get());
+      if (::testing::Test::HasFatalFailure()) return;
+      EXPECT_EQ((*session)->stats().base_solves, solves_before)
+          << "warm batches must not re-run base solves";
+      // Mutation rounds: rejected batches must leave everything
+      // unchanged; accepted ones must match fresh solves on the edited
+      // specification.  Both paths re-check all four problems.
+      std::mt19937 rng(GetParam() * 7919 + variant * 53 + threads);
+      for (int round = 0; round < 2; ++round) {
+        SCOPED_TRACE("round=" + std::to_string(round));
+        std::vector<core::TupleEdit> edits =
+            MakeRandomEdits((*session)->spec(), rng);
+        Status st = (*session)->Mutate(edits);
+        if (!st.ok()) {
+          EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st;
+        }
+        CheckAllProblems(session->get());
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SessionEquivalence, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace currency::serve
