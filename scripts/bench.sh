@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
-# Performance trajectory runner: builds the bench binaries and emits a
-# machine-readable report for the serving layer.
+# Performance trajectory runner: builds the plain bench binaries and
+# emits machine-readable reports for the serving layer and the SAT core.
 #
-# Output: BENCH_serve.json at the repository root — ops/sec and p50/p95
-# latency for cold session bring-up, rebuild-per-query one-shot solves,
-# warm single queries, warm batches, and mutate-then-requery, plus the
-# warm-batch-vs-rebuild speedup on the 1024-component sharded workload.
-# bench_serve self-checks every answer against the one-shot solver and
-# enforces the >= 5x amortization floor, so this script failing means a
-# real regression (wrong answers or lost amortization), not noise.
+# Outputs (both tracked at the repository root so the trajectory is
+# versioned with the code):
+#
+#  * BENCH_serve.json — ops/sec and p50/p95 latency for cold session
+#    bring-up, rebuild-per-query one-shot solves, warm single queries,
+#    warm batches, and mutate-then-requery, plus the warm-batch-vs-
+#    rebuild speedup on the 1024-component sharded workload.
+#    bench_serve self-checks every answer against the one-shot solver
+#    and enforces the >= 5x amortization floor.
+#
+#  * BENCH_sat.json — single-threaded SAT-core throughput on the
+#    1024-entity chained-component CPS/COP workload: propagations/sec,
+#    conflicts/sec, per-phase wall clock, and arena bytes for the
+#    arena-backed solver AND the preserved legacy engine measured in the
+#    same run.  bench_sat_core self-checks that every probe verdict and
+#    enumeration count agrees between the engines and enforces the
+#    >= 1.3x propagation-throughput floor.
+#
+# Either script failing means a real regression (wrong answers or lost
+# performance), not noise.
 #
 # The Google-Benchmark binaries (paper tables, decomposition scaling) are
-# not re-run here: they measure solver internals, not the serving layer,
-# and dominate wall-clock.  Run them directly when needed.
+# not re-run here: they measure other layers and dominate wall-clock.
+# Run them directly when needed.
 #
 # Usage: scripts/bench.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -24,11 +37,16 @@ cd "$repo_root"
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S .
 fi
-cmake --build "$build_dir" -j "$(nproc)" --target bench_serve
+cmake --build "$build_dir" -j "$(nproc)" --target bench_serve bench_sat_core
 
 "$build_dir/bench/bench_serve" \
   --entities=1024 --queries=16 --iters=5 \
   --require-speedup=5 \
   --out="$repo_root/BENCH_serve.json"
 
-echo "bench: wrote $repo_root/BENCH_serve.json"
+"$build_dir/bench/bench_sat_core" \
+  --entities=1024 --probes=2048 \
+  --require-speedup=1.3 \
+  --out="$repo_root/BENCH_sat.json"
+
+echo "bench: wrote $repo_root/BENCH_serve.json and $repo_root/BENCH_sat.json"

@@ -9,16 +9,19 @@
 # without holding third-party code to the same bar.
 #
 # The TSan pass (CURRENCY_TSAN, a separate build tree) rebuilds only the
-# test suites that exercise the parallel exec layer and runs the three
+# test suites that exercise the parallel exec layer and runs the ones
 # that matter — exec_test (thread-pool semantics),
-# parallel_equivalence_test (CPS/COP/DCIP/CCQA across thread counts) and
-# session_equivalence_test (the serving layer's shared-pool batches) — so
-# data races in the decomposed solvers fail CI even on hardware where
-# they never misbehave.
+# parallel_equivalence_test (CPS/COP/DCIP/CCQA across thread counts),
+# session_equivalence_test (the serving layer's shared-pool batches),
+# and sat_metamorphic_test (arena compaction inside pooled session
+# tasks) — so data races in the decomposed solvers fail CI even on
+# hardware where they never misbehave.
 #
 # The ASan+UBSan pass (CURRENCY_ASAN, a third build tree) runs the serve
-# and exec suites: the session layer moves encoders between epochs and
-# hands borrowed pools/encoders across threads, exactly the lifetime
+# and exec suites plus sat_metamorphic_test: the session layer moves
+# encoders between epochs and hands borrowed pools/encoders across
+# threads, and the SAT core's garbage collector relocates every clause
+# and rewrites watcher/reason references in place — exactly the lifetime
 # traffic AddressSanitizer is built to police.
 #
 # Usage: scripts/check.sh [build-dir]    (default: build)
@@ -41,11 +44,12 @@ cmake -B "$tsan_dir" -S . \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j "$(nproc)" \
   --target exec_test parallel_equivalence_test serve_test \
-           session_equivalence_test
+           session_equivalence_test sat_metamorphic_test
 "$tsan_dir/tests/exec_test"
 "$tsan_dir/tests/parallel_equivalence_test"
 "$tsan_dir/tests/serve_test"
 "$tsan_dir/tests/session_equivalence_test"
+"$tsan_dir/tests/sat_metamorphic_test"
 
 asan_dir="${build_dir}-asan"
 rm -rf "$asan_dir"
@@ -54,7 +58,9 @@ cmake -B "$asan_dir" -S . \
   -DCURRENCY_BUILD_BENCHMARKS=OFF \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$asan_dir" -j "$(nproc)" \
-  --target exec_test serve_test session_equivalence_test
+  --target exec_test serve_test session_equivalence_test \
+           sat_metamorphic_test
 "$asan_dir/tests/exec_test"
 "$asan_dir/tests/serve_test"
 "$asan_dir/tests/session_equivalence_test"
+"$asan_dir/tests/sat_metamorphic_test"

@@ -8,4 +8,65 @@ std::string LitToString(Lit l) {
   return out;
 }
 
+CRef ClauseArena::Alloc(const std::vector<Lit>& lits, bool learnt, int lbd,
+                        float activity) {
+  assert(lits.size() >= 2);
+  CRef c = static_cast<CRef>(mem_.size());
+  uint32_t header =
+      (static_cast<uint32_t>(lits.size()) << ClauseView::kSizeShift) |
+      (learnt ? ClauseView::kLearntBit : 0u);
+  mem_.push_back(header);
+  if (learnt) {
+    uint32_t act_bits;
+    std::memcpy(&act_bits, &activity, sizeof act_bits);
+    mem_.push_back(act_bits);
+    mem_.push_back(static_cast<uint32_t>(lbd));
+  }
+  for (Lit l : lits) mem_.push_back(static_cast<uint32_t>(l));
+  return c;
+}
+
+void ClauseArena::Free(CRef c) {
+  ClauseView v = View(c);
+  assert(!v.dead());
+  wasted_ += static_cast<size_t>(v.num_words());
+  v.p_[0] |= ClauseView::kDeadBit;
+}
+
+void ClauseArena::GcBegin() {
+  assert(old_.empty());
+  old_.swap(mem_);
+  mem_.reserve(old_.size() > wasted_ ? old_.size() - wasted_ : 0);
+}
+
+CRef ClauseArena::GcRelocate(CRef c) {
+  assert(c < old_.size());
+  uint32_t header = old_[c];
+  if (header & ClauseView::kRelocBit) return old_[c + 1];
+  assert((header & ClauseView::kDeadBit) == 0 &&
+         "dead clause still referenced at GC time");
+  ClauseView from(&old_[c]);
+  CRef to = static_cast<CRef>(mem_.size());
+  int words = from.num_words();
+  mem_.insert(mem_.end(), &old_[c], &old_[c] + words);
+  // Forwarding pointer: mark the from-space copy relocated and stash the
+  // to-space ref in its first payload word (the old contents are dead).
+  old_[c] |= ClauseView::kRelocBit;
+  old_[c + 1] = to;
+  return to;
+}
+
+CRef ClauseArena::GcForward(CRef c) const {
+  assert(c < old_.size());
+  assert((old_[c] & ClauseView::kRelocBit) != 0 &&
+         "GcForward on a clause that was never relocated");
+  return old_[c + 1];
+}
+
+void ClauseArena::GcEnd() {
+  old_.clear();
+  old_.shrink_to_fit();
+  wasted_ = 0;
+}
+
 }  // namespace currency::sat

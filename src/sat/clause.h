@@ -1,13 +1,41 @@
-// Literal / clause representation for the CDCL solver (MiniSat encoding).
+// Literal vocabulary and arena-backed clause storage for the CDCL solver.
 //
 // The paper's upper-bound algorithms are "guess a completion, check it in
 // P" (Theorems 3.1, 3.4, 3.5).  We realize the guessing NP oracle with a
 // propositional SAT solver over an order-literal encoding (src/core/
-// encoder.h); this header is the shared vocabulary.
+// encoder.h); this header is the shared vocabulary plus the solver's
+// clause memory.
+//
+// Clause storage (MiniSat/Glucose-style).  All clauses live in ONE flat
+// uint32_t buffer owned by a ClauseArena.  A clause is addressed by a
+// CRef — its word offset into the buffer — and laid out as
+//
+//   [header][activity][lbd][lit 0][lit 1] ... [lit size-1]
+//            `---- learnt only ----'
+//
+// where the header packs the literal count with the learnt/relocated/
+// dead flags.  Compared to one heap-allocated std::vector<Lit> per
+// clause, dereferencing a CRef is a single indexed load into memory that
+// propagation walks mostly sequentially — the hot loop stops being a
+// chain of dependent cache misses.
+//
+// CRef lifetime rules:
+//  * A CRef stays valid until the arena garbage-collects (ClauseArena::
+//    GcBegin/GcRelocate/GcForward/GcEnd, driven by Solver::ReduceDB).
+//    Holders of CRefs across a GC must translate them through
+//    GcForward; the solver does this for its clause list, watcher
+//    lists, and reason slots, preserving order everywhere so a
+//    relocation-only GC is bit-for-bit transparent to the search.
+//  * Free() only marks a clause dead and counts the waste; the words are
+//    reclaimed by the next GC.  Dead clauses must be unhooked from every
+//    watcher list before GC runs (GcRelocate asserts on them).
 
 #ifndef CURRENCY_SRC_SAT_CLAUSE_H_
 #define CURRENCY_SRC_SAT_CLAUSE_H_
 
+#include <cassert>
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -35,17 +63,101 @@ inline Lit Negate(Lit l) { return l ^ 1; }
 /// Renders a literal as "x3" / "~x3".
 std::string LitToString(Lit l);
 
-/// A disjunction of literals.
-struct Clause {
-  std::vector<Lit> lits;
-  bool learnt = false;
-  /// Bumped when the clause participates in conflict analysis; learnt
-  /// clauses with low activity are candidates for deletion (ReduceDB).
-  double activity = 0.0;
-  /// Literal block distance at learn time: number of distinct decision
-  /// levels among the clause's literals.  Low-LBD ("glue") clauses are
-  /// never deleted.
-  int lbd = 0;
+/// Reference to a clause: word offset of its header in the arena buffer.
+using CRef = uint32_t;
+constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+/// Mutable view of one clause inside a ClauseArena.  Cheap to construct
+/// (a pointer plus the literal offset); invalidated by any arena
+/// allocation or GC, so views are made fresh from a CRef at each use and
+/// never stored.
+class ClauseView {
+ public:
+  static constexpr uint32_t kLearntBit = 1u;
+  static constexpr uint32_t kRelocBit = 2u;
+  static constexpr uint32_t kDeadBit = 4u;
+  static constexpr int kSizeShift = 3;
+
+  explicit ClauseView(uint32_t* header)
+      : p_(header), lit_base_((*header & kLearntBit) ? 3 : 1) {}
+
+  int size() const { return static_cast<int>(p_[0] >> kSizeShift); }
+  bool learnt() const { return (p_[0] & kLearntBit) != 0; }
+  bool dead() const { return (p_[0] & kDeadBit) != 0; }
+
+  /// Literals are stored as uint32_t words; valid literals are always
+  /// non-negative, so value conversion is lossless (and avoids aliasing
+  /// the buffer as int*).
+  Lit lit(int i) const { return static_cast<Lit>(p_[lit_base_ + i]); }
+  void set_lit(int i, Lit l) { p_[lit_base_ + i] = static_cast<uint32_t>(l); }
+  void swap_lits(int i, int j) {
+    uint32_t t = p_[lit_base_ + i];
+    p_[lit_base_ + i] = p_[lit_base_ + j];
+    p_[lit_base_ + j] = t;
+  }
+
+  /// Activity and LBD live in the two extra header words of learnt
+  /// clauses (float bits / uint32).  Callers must check learnt().
+  float activity() const {
+    float f;
+    std::memcpy(&f, &p_[1], sizeof f);
+    return f;
+  }
+  void set_activity(float a) { std::memcpy(&p_[1], &a, sizeof a); }
+  int lbd() const { return static_cast<int>(p_[2]); }
+  void set_lbd(int lbd) { p_[2] = static_cast<uint32_t>(lbd); }
+
+  /// Words this clause occupies in the arena.
+  int num_words() const { return lit_base_ + size(); }
+
+ private:
+  friend class ClauseArena;
+  uint32_t* p_;
+  int lit_base_;
+};
+
+/// The flat clause buffer.  Alloc appends; Free marks dead and counts
+/// waste; GcBegin/GcRelocate/GcForward/GcEnd compact into a fresh buffer
+/// (two-space copy with forwarding pointers in the old space).
+class ClauseArena {
+ public:
+  /// Allocates a clause over `lits` (size >= 2).  `lbd`/`activity` are
+  /// stored only for learnt clauses.
+  CRef Alloc(const std::vector<Lit>& lits, bool learnt, int lbd,
+             float activity);
+
+  ClauseView View(CRef c) {
+    assert(c < mem_.size());
+    return ClauseView(&mem_[c]);
+  }
+
+  /// Marks the clause dead (words reclaimed by the next GC).
+  void Free(CRef c);
+
+  /// Bytes in the live buffer / marked dead.  wasted_bytes() is the GC
+  /// trigger input; size_bytes() feeds SolverStats::arena_bytes.
+  int64_t size_bytes() const {
+    return static_cast<int64_t>(mem_.size()) * 4;
+  }
+  int64_t wasted_bytes() const { return static_cast<int64_t>(wasted_) * 4; }
+
+  // --- garbage collection (two-space copy) ---
+  /// Starts a GC cycle: the current buffer becomes from-space and a new
+  /// to-space buffer is reserved for the live words.
+  void GcBegin();
+  /// Copies `c` (a from-space ref) into to-space once, leaving a
+  /// forwarding pointer behind; returns the to-space ref.  Asserts the
+  /// clause is not dead — dead clauses must already be unhooked.
+  CRef GcRelocate(CRef c);
+  /// Translates an already-relocated from-space ref.
+  CRef GcForward(CRef c) const;
+  /// Ends the cycle: drops from-space, resets the waste counter.
+  void GcEnd();
+
+ private:
+  std::vector<uint32_t> mem_;
+  std::vector<uint32_t> old_;  ///< from-space, alive only during a GC
+  size_t wasted_ = 0;          ///< words occupied by dead clauses
 };
 
 }  // namespace currency::sat

@@ -41,7 +41,12 @@ struct ProjectedModelEnumeration {
 /// emptiness only a final solve could prove reports ResourceExhausted.
 ///
 /// The solver is mutated (blocking clauses are added); callers that need
-/// the original formula afterwards should enumerate on a copy.
+/// the original formula afterwards should enumerate on a copy.  The
+/// blocking clauses enter the arena as PROBLEM clauses, so ReduceDB can
+/// never delete one (only learnt clauses are deletable) — long
+/// enumeration runs stay sound across any number of reduction + GC
+/// cycles, at the cost of growing the problem store; the adaptive
+/// reduction limit accounts for that growth (see Solver::MaybeReduceDB).
 Result<ProjectedModelEnumeration> EnumerateProjectedModels(
     Solver* solver, const std::vector<Var>& projection, int64_t max_models,
     const std::function<bool(const std::vector<bool>&)>& visit);

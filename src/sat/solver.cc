@@ -6,6 +6,22 @@
 
 namespace currency::sat {
 
+namespace {
+/// Process-wide test hooks (see the header).  Relaxed atomics: the hooks
+/// are flipped from test set-up code, never raced against a running
+/// solve.
+std::atomic<bool> g_gc_stress{false};
+std::atomic<int64_t> g_reduce_limit_override{-1};
+}  // namespace
+
+void Solver::SetGcStressForTesting(bool on) {
+  g_gc_stress.store(on, std::memory_order_relaxed);
+}
+
+void Solver::SetReduceLimitForTesting(int64_t limit) {
+  g_reduce_limit_override.store(limit, std::memory_order_relaxed);
+}
+
 /// Debug-only thread-confinement guard (see the header's confinement
 /// contract): flags the solver busy for the duration of a mutating entry
 /// point and asserts no second entry overlaps.  The exchange is relaxed —
@@ -34,25 +50,81 @@ class ConfinementGuard {
 #endif
 };
 
+// --- indexed mutable heap ---
+
+void Solver::VarOrderHeap::Insert(Var v, const std::vector<double>& act) {
+  if (Contains(v)) return;
+  indices_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  Up(indices_[v], act);
+}
+
+Var Solver::VarOrderHeap::PopMax(const std::vector<double>& act) {
+  Var top = heap_[0];
+  indices_[top] = -1;
+  Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    indices_[last] = 0;
+    Down(0, act);
+  }
+  return top;
+}
+
+void Solver::VarOrderHeap::Up(int i, const std::vector<double>& act) {
+  Var v = heap_[i];
+  while (i > 0) {
+    int parent = (i - 1) >> 1;
+    if (act[heap_[parent]] >= act[v]) break;
+    heap_[i] = heap_[parent];
+    indices_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  indices_[v] = i;
+}
+
+void Solver::VarOrderHeap::Down(int i, const std::vector<double>& act) {
+  Var v = heap_[i];
+  int n = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && act[heap_[child + 1]] > act[heap_[child]]) ++child;
+    if (act[heap_[child]] <= act[v]) break;
+    heap_[i] = heap_[child];
+    indices_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  indices_[v] = i;
+}
+
+// --- solver ---
+
 Var Solver::NewVar() {
   Var v = static_cast<Var>(assign_.size());
   assign_.push_back(0);
-  reason_.push_back(-1);
+  reason_.push_back(kCRefUndef);
   level_.push_back(0);
   activity_.push_back(0.0);
   phase_.push_back(-1);
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
-  order_heap_.emplace(0.0, v);
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
+  order_heap_.Grow(v + 1);
+  order_heap_.Insert(v, activity_);
   return v;
 }
 
-void Solver::UncheckedEnqueue(Lit l, int reason_clause) {
+void Solver::UncheckedEnqueue(Lit l, CRef reason) {
   Var v = LitVar(l);
   assign_[v] = LitIsNeg(l) ? -1 : 1;
   phase_[v] = assign_[v];
-  reason_[v] = reason_clause;
+  reason_[v] = reason;
   level_[v] = DecisionLevel();
   trail_.push_back(l);
 }
@@ -63,8 +135,8 @@ void Solver::CancelUntil(int level) {
   for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
     Var v = LitVar(trail_[i]);
     assign_[v] = 0;
-    reason_[v] = -1;
-    order_heap_.emplace(activity_[v], v);
+    reason_[v] = kCRefUndef;
+    order_heap_.Insert(v, activity_);
   }
   trail_.resize(bound);
   trail_lim_.resize(level);
@@ -82,8 +154,8 @@ bool Solver::AddClause(std::vector<Lit> lits) {
   Lit prev = kLitUndef;
   for (Lit l : lits) {
     if (l == prev) continue;
-    if (prev != kLitUndef && l == Negate(prev) && LitVar(l) == LitVar(prev)) {
-      return true;  // tautology: p ∨ ¬p
+    if (prev != kLitUndef && l == Negate(prev)) {
+      return true;  // tautology: p ∨ ¬p (adjacent after the sort)
     }
     int val = LitValue(l);
     if (val > 0) return true;  // already satisfied at level 0
@@ -99,88 +171,123 @@ bool Solver::AddClause(std::vector<Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
-    UncheckedEnqueue(out[0], -1);
-    if (Propagate() != -1) {
+    UncheckedEnqueue(out[0], kCRefUndef);
+    if (Propagate() != kCRefUndef) {
       ok_ = false;
       return false;
     }
     return true;
   }
-  clauses_.push_back(Clause{std::move(out), false, 0.0});
-  Attach(static_cast<int>(clauses_.size()) - 1);
+  CRef cref = arena_.Alloc(out, /*learnt=*/false, /*lbd=*/0, /*activity=*/0.0f);
+  clauses_.push_back(cref);
+  Attach(cref);
+  SyncArenaStats();
   return true;
 }
 
-void Solver::Attach(int ci) {
-  const Clause& c = clauses_[ci];
-  watches_[Negate(c.lits[0])].push_back(ci);
-  watches_[Negate(c.lits[1])].push_back(ci);
+void Solver::Attach(CRef cref) {
+  ClauseView c = arena_.View(cref);
+  Lit l0 = c.lit(0);
+  Lit l1 = c.lit(1);
+  if (c.size() == 2) {
+    bin_watches_[Negate(l0)].push_back(BinWatcher{l1, cref});
+    bin_watches_[Negate(l1)].push_back(BinWatcher{l0, cref});
+  } else {
+    watches_[Negate(l0)].push_back(Watcher{cref, l1});
+    watches_[Negate(l1)].push_back(Watcher{cref, l0});
+  }
 }
 
-int Solver::Propagate() {
-  int conflict = -1;
+CRef Solver::Propagate() {
   while (qhead_ < trail_.size()) {
     Lit p = trail_[qhead_++];  // p is now true
     ++stats_.propagations;
-    std::vector<int>& watch_list = watches_[p];
+    // Binary clauses: the watcher IS the clause — skip, enqueue, or
+    // conflict without touching the arena.
+    {
+      const std::vector<BinWatcher>& bins = bin_watches_[p];
+      for (size_t wi = 0; wi < bins.size(); ++wi) {
+        const BinWatcher w = bins[wi];
+        int val = LitValue(w.other);
+        if (val < 0) {
+          qhead_ = trail_.size();
+          return w.cref;
+        }
+        if (val == 0) UncheckedEnqueue(w.other, w.cref);
+      }
+    }
+    // Long clauses: the blocker check skips satisfied clauses with no
+    // arena access; only a failed blocker dereferences the clause.
+    std::vector<Watcher>& watch_list = watches_[p];
     size_t keep = 0;
     for (size_t wi = 0; wi < watch_list.size(); ++wi) {
-      int ci = watch_list[wi];
-      Clause& c = clauses_[ci];
+      Watcher w = watch_list[wi];
+      if (LitValue(w.blocker) > 0) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      ClauseView c = arena_.View(w.cref);
       // Ensure the false watched literal (¬p) is at position 1.
       Lit false_lit = Negate(p);
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      // If the other watch is true, the clause is satisfied.
-      if (LitValue(c.lits[0]) > 0) {
-        watch_list[keep++] = ci;
+      if (c.lit(0) == false_lit) c.swap_lits(0, 1);
+      Lit first = c.lit(0);
+      // If the other watch is true, the clause is satisfied; cache it as
+      // the new blocker.
+      if (first != w.blocker && LitValue(first) > 0) {
+        watch_list[keep++] = Watcher{w.cref, first};
         continue;
       }
       // Look for a new literal to watch.
+      int size = c.size();
       bool moved = false;
-      for (size_t k = 2; k < c.lits.size(); ++k) {
-        if (LitValue(c.lits[k]) >= 0) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[Negate(c.lits[1])].push_back(ci);
+      for (int k = 2; k < size; ++k) {
+        if (LitValue(c.lit(k)) >= 0) {
+          c.swap_lits(1, k);
+          watches_[Negate(c.lit(1))].push_back(Watcher{w.cref, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;  // watch moved elsewhere; drop from this list
       // Clause is unit or conflicting.
-      watch_list[keep++] = ci;
-      if (LitValue(c.lits[0]) < 0) {
+      watch_list[keep++] = Watcher{w.cref, first};
+      if (LitValue(first) < 0) {
         // Conflict: copy the rest of the watch list and bail out.
         for (size_t rest = wi + 1; rest < watch_list.size(); ++rest) {
           watch_list[keep++] = watch_list[rest];
         }
         watch_list.resize(keep);
         qhead_ = trail_.size();
-        return ci;
+        return w.cref;
       }
-      UncheckedEnqueue(c.lits[0], ci);
+      UncheckedEnqueue(first, w.cref);
     }
     watch_list.resize(keep);
   }
-  return conflict;
+  return kCRefUndef;
 }
 
 void Solver::BumpVar(Var v) {
   activity_[v] += var_inc_;
   if (activity_[v] > 1e100) {
+    // Uniform rescale preserves the relative order, so the heap needs no
+    // repair.
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
   }
-  order_heap_.emplace(activity_[v], v);
+  order_heap_.Increased(v, activity_);
 }
 
-void Solver::BumpClause(int ci) {
-  Clause& c = clauses_[ci];
-  c.activity += cla_inc_;
-  if (c.activity > 1e100) {
-    for (Clause& other : clauses_) {
-      if (other.learnt) other.activity *= 1e-100;
+void Solver::BumpClause(CRef cref) {
+  ClauseView c = arena_.View(cref);
+  float act = c.activity() + static_cast<float>(cla_inc_);
+  c.set_activity(act);
+  if (act > 1e20f) {
+    for (CRef other : clauses_) {
+      ClauseView o = arena_.View(other);
+      if (o.learnt()) o.set_activity(o.activity() * 1e-20f);
     }
-    cla_inc_ *= 1e-100;
+    cla_inc_ *= 1e-20;
   }
 }
 
@@ -202,8 +309,15 @@ void Solver::MaybeReduceDB() {
   // Let the learnt store grow with the problem (a third of the original
   // clauses) before pruning, and raise the bar after every reduction so
   // long runs converge instead of thrashing.
-  int64_t problem_clauses = static_cast<int64_t>(clauses_.size()) - num_learnts_;
-  int64_t limit = std::max(max_learnts_, problem_clauses / 3);
+  int64_t limit;
+  int64_t override_limit = g_reduce_limit_override.load(std::memory_order_relaxed);
+  if (override_limit >= 0) {
+    limit = override_limit;  // test hook: force frequent ReduceDB + GC
+  } else {
+    int64_t problem_clauses =
+        static_cast<int64_t>(clauses_.size()) - num_learnts_;
+    limit = std::max(max_learnts_, problem_clauses / 3);
+  }
   if (num_learnts_ <= limit) return;
   ReduceDB();
   max_learnts_ += max_learnts_ / 2;
@@ -213,65 +327,90 @@ void Solver::ReduceDB() {
   if (DecisionLevel() != 0) return;
   // Locked clauses are the reason of a (level-0) trail literal; deleting
   // one would dangle reason_.
-  std::vector<char> locked(clauses_.size(), 0);
+  std::vector<CRef> locked;
   for (Lit l : trail_) {
-    int r = reason_[LitVar(l)];
-    if (r >= 0) locked[r] = 1;
+    CRef r = reason_[LitVar(l)];
+    if (r != kCRefUndef) locked.push_back(r);
   }
+  std::sort(locked.begin(), locked.end());
+  auto is_locked = [&locked](CRef c) {
+    return std::binary_search(locked.begin(), locked.end(), c);
+  };
   // Deletable: learnt, not locked, longer than binary, not glue.
-  std::vector<int> candidates;
-  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
-    const Clause& c = clauses_[ci];
-    if (c.learnt && !locked[ci] && c.lits.size() > 2 && c.lbd > 2) {
-      candidates.push_back(ci);
+  std::vector<CRef> candidates;
+  for (CRef cref : clauses_) {
+    ClauseView c = arena_.View(cref);
+    if (c.learnt() && c.size() > 2 && c.lbd() > 2 && !is_locked(cref)) {
+      candidates.push_back(cref);
     }
   }
   if (candidates.empty()) return;
-  std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
-    return clauses_[a].activity < clauses_[b].activity;
+  std::sort(candidates.begin(), candidates.end(), [this](CRef a, CRef b) {
+    return arena_.View(a).activity() < arena_.View(b).activity();
   });
-  std::vector<char> remove(clauses_.size(), 0);
   size_t target = candidates.size() / 2;
-  for (size_t k = 0; k < target; ++k) remove[candidates[k]] = 1;
   if (target == 0) return;
-  // Compact the clause arena, remap the reasons of the level-0 trail
-  // (only locked clauses are reasons, and locked clauses survive), and
-  // rebuild the watch lists — Attach re-watches each clause's first two
-  // literals, which is exactly the watch invariant Propagate maintains.
-  std::vector<int> remap(clauses_.size(), -1);
-  size_t out = 0;
-  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
-    if (remove[ci]) continue;
-    remap[ci] = static_cast<int>(out);
-    if (out != ci) clauses_[out] = std::move(clauses_[ci]);
-    ++out;
+  // Mark the victims dead, unhook their watchers (in place, preserving
+  // the survivors' order), drop them from the clause list, and compact.
+  for (size_t k = 0; k < target; ++k) arena_.Free(candidates[k]);
+  auto dead = [this](CRef c) { return arena_.View(c).dead(); };
+  for (std::vector<Watcher>& wl : watches_) {
+    wl.erase(std::remove_if(wl.begin(), wl.end(),
+                            [&dead](const Watcher& w) { return dead(w.cref); }),
+             wl.end());
   }
-  clauses_.resize(out);
-  for (Lit l : trail_) {
-    int& r = reason_[LitVar(l)];
-    if (r >= 0) r = remap[r];
-  }
-  for (auto& watch_list : watches_) watch_list.clear();
-  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
-    Attach(static_cast<int>(ci));
-  }
+  // Binary clauses are never deletable (size > 2 above), so the binary
+  // watch lists need no sweep.
+  clauses_.erase(std::remove_if(clauses_.begin(), clauses_.end(), dead),
+                 clauses_.end());
   num_learnts_ -= static_cast<int64_t>(target);
   stats_.deleted_clauses += static_cast<int64_t>(target);
   ++stats_.reductions;
+  GarbageCollect();
 }
 
-int Solver::Analyze(int conflict_clause, std::vector<Lit>* learnt) {
+void Solver::GarbageCollect() {
+  assert(DecisionLevel() == 0);
+  arena_.GcBegin();
+  // Relocate every live clause in insertion order (keeps the compacted
+  // arena in the same layout order every time), then translate all held
+  // references in place — order inside every list is preserved, which is
+  // what makes relocation bit-for-bit transparent to the search.
+  for (CRef& cref : clauses_) cref = arena_.GcRelocate(cref);
+  for (Lit l : trail_) {
+    CRef& r = reason_[LitVar(l)];
+    if (r != kCRefUndef) r = arena_.GcForward(r);
+  }
+  for (std::vector<Watcher>& wl : watches_) {
+    for (Watcher& w : wl) w.cref = arena_.GcForward(w.cref);
+  }
+  for (std::vector<BinWatcher>& wl : bin_watches_) {
+    for (BinWatcher& w : wl) w.cref = arena_.GcForward(w.cref);
+  }
+  arena_.GcEnd();
+  ++stats_.gc_runs;
+  SyncArenaStats();
+}
+
+int Solver::Analyze(CRef conflict, std::vector<Lit>* learnt) {
   learnt->clear();
   learnt->push_back(kLitUndef);  // placeholder for the asserting literal
   int path_count = 0;
   Lit p = kLitUndef;
   int index = static_cast<int>(trail_.size()) - 1;
-  int ci = conflict_clause;
+  CRef cref = conflict;
   do {
-    if (clauses_[ci].learnt) BumpClause(ci);
-    const Clause& c = clauses_[ci];
-    for (size_t i = (p == kLitUndef ? 0 : 1); i < c.lits.size(); ++i) {
-      Lit q = c.lits[i];
+    ClauseView c = arena_.View(cref);
+    if (c.learnt()) BumpClause(cref);
+    int size = c.size();
+    for (int i = 0; i < size; ++i) {
+      Lit q = c.lit(i);
+      // Skip the resolved literal by VALUE: long reasons keep it at
+      // position 0 (Propagate swaps before enqueueing), but binary
+      // reasons keep their stored literal order.  On the first round
+      // p == kLitUndef matches nothing and the whole conflict clause is
+      // processed.
+      if (q == p) continue;
       Var v = LitVar(q);
       if (!seen_[v] && level_[v] > 0) {
         seen_[v] = 1;
@@ -287,7 +426,7 @@ int Solver::Analyze(int conflict_clause, std::vector<Lit>* learnt) {
     while (!seen_[LitVar(trail_[index])]) --index;
     p = trail_[index];
     --index;
-    ci = reason_[LitVar(p)];
+    cref = reason_[LitVar(p)];
     seen_[LitVar(p)] = 0;
     --path_count;
   } while (path_count > 0);
@@ -309,15 +448,9 @@ int Solver::Analyze(int conflict_clause, std::vector<Lit>* learnt) {
 }
 
 Lit Solver::PickBranchLit() {
-  while (!order_heap_.empty()) {
-    auto [act, v] = order_heap_.top();
-    order_heap_.pop();
-    if (assign_[v] != 0) continue;
-    if (act != activity_[v]) {
-      order_heap_.emplace(activity_[v], v);  // stale entry: reinsert fresh
-      continue;
-    }
-    return MakeLit(v, phase_[v] < 0);
+  while (!order_heap_.Empty()) {
+    Var v = order_heap_.PopMax(activity_);
+    if (assign_[v] == 0) return MakeLit(v, phase_[v] < 0);
   }
   for (Var v = 0; v < NumVars(); ++v) {
     if (assign_[v] == 0) return MakeLit(v, phase_[v] < 0);
@@ -344,7 +477,7 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
   ConfinementGuard guard(*this);
   CancelUntil(0);
   if (!ok_) return SolveResult::kUnsat;
-  if (Propagate() != -1) {
+  if (Propagate() != kCRefUndef) {
     ok_ = false;
     return SolveResult::kUnsat;
   }
@@ -352,6 +485,7 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
   // accumulate learnt clauses across many conflict-light calls that never
   // restart, so the reduction check must also run between calls.
   MaybeReduceDB();
+  if (g_gc_stress.load(std::memory_order_relaxed)) GarbageCollect();
 
   int restart_count = 0;
   int64_t conflicts_until_restart =
@@ -360,8 +494,8 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
   std::vector<Lit> learnt;
 
   while (true) {
-    int confl = Propagate();
-    if (confl != -1) {
+    CRef confl = Propagate();
+    if (confl != kCRefUndef) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
       if (DecisionLevel() == 0) {
@@ -382,13 +516,16 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
       CancelUntil(std::max(bj, 0));
       if (learnt.size() == 1) {
         CancelUntil(0);
-        UncheckedEnqueue(learnt[0], -1);
+        UncheckedEnqueue(learnt[0], kCRefUndef);
       } else {
-        clauses_.push_back(Clause{learnt, true, cla_inc_, lbd});
+        CRef cref = arena_.Alloc(learnt, /*learnt=*/true, lbd,
+                                 static_cast<float>(cla_inc_));
+        clauses_.push_back(cref);
         ++stats_.learnt_clauses;
         ++num_learnts_;
-        Attach(static_cast<int>(clauses_.size()) - 1);
-        UncheckedEnqueue(learnt[0], static_cast<int>(clauses_.size()) - 1);
+        Attach(cref);
+        UncheckedEnqueue(learnt[0], cref);
+        SyncArenaStats();
       }
       DecayActivities();
       if (conflicts_this_restart >= conflicts_until_restart) {
@@ -399,6 +536,7 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
             static_cast<int64_t>(100 * Luby(2.0, restart_count));
         CancelUntil(0);
         MaybeReduceDB();
+        if (g_gc_stress.load(std::memory_order_relaxed)) GarbageCollect();
       }
       continue;
     }
@@ -428,7 +566,7 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
       ++stats_.decisions;
     }
     NewDecisionLevel();
-    UncheckedEnqueue(next, -1);
+    UncheckedEnqueue(next, kCRefUndef);
   }
 }
 

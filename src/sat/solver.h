@@ -1,13 +1,44 @@
-// A compact CDCL SAT solver: two-watched-literal propagation, 1UIP clause
-// learning with backjumping, VSIDS-style activities with phase saving,
-// Luby restarts, and activity/LBD-guided learnt-clause deletion.  Supports
-// incremental solving under assumptions and incremental clause addition
-// between calls — exactly what the currency solvers (CPS/COP/DCIP/CCQA)
-// need.
+// A compact CDCL SAT solver: two-watched-literal propagation with blocker
+// literals, binary-clause specialization, 1UIP clause learning with
+// backjumping, VSIDS activities on an indexed mutable heap with phase
+// saving, Luby restarts, and activity/LBD-guided learnt-clause deletion
+// with arena garbage collection.  Supports incremental solving under
+// assumptions and incremental clause addition between calls — exactly
+// what the currency solvers (CPS/COP/DCIP/CCQA) need.
 //
 // This is the engine realizing the paper's upper bounds (Theorems 3.1,
 // 3.4, 3.5): the NP/Σ₂ᵖ search over consistent completions runs as CDCL
 // on the order encoding from src/core/encoder.h.
+//
+// Memory layout (the hot-path story; see src/sat/clause.h for the word
+// format):
+//
+//  * All clauses live inline in one flat uint32_t ClauseArena and are
+//    addressed by CRef offsets.  Propagation's clause dereference is a
+//    single indexed load instead of the two dependent misses of a
+//    vector<Clause>-of-vector<Lit> layout.
+//  * Watchers carry a BLOCKER literal — a literal of the clause (the
+//    other watched literal, possibly stale) whose truth proves the
+//    clause satisfied.  Watch lists are arrays of {CRef, blocker}, so a
+//    satisfied clause is skipped by reading only the watcher itself,
+//    never touching the arena.  A stale blocker is safe in both
+//    directions: true ⇒ the clause is satisfied (skip is sound); false
+//    or unset ⇒ we dereference the clause as usual.
+//  * BINARY clauses live in separate per-literal watcher lists whose
+//    entry stores the other literal as the payload: propagation of a
+//    binary clause — skip, enqueue, or conflict — never touches the
+//    arena at all.  The CRef rides along purely as the reason/conflict
+//    handle for Analyze.  Binary watches never move, so these lists are
+//    append-only between deletions.
+//
+// CRef lifetime and GC: ReduceDB marks deleted learnt clauses dead,
+// unhooks their watchers, and then compacts the arena (two-space copy).
+// Compaction translates every held CRef — clause list, watcher lists,
+// reason slots — IN PLACE, preserving list order and clause literal
+// order, so a relocation-only GC is bit-for-bit transparent to the
+// search: same decisions, same models, same statistics (the metamorphic
+// suite asserts this).  GC runs only at decision level 0; no CRef may be
+// held across ReduceDB by callers (none of the public API exposes one).
 //
 // Thread confinement: a Solver is NOT thread-safe — no internal locking,
 // and every entry point (NewVar, AddClause, Solve, SolveWithAssumptions,
@@ -25,7 +56,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "src/sat/clause.h"
@@ -44,6 +74,10 @@ struct SolverStats {
   int64_t learnt_clauses = 0;
   int64_t deleted_clauses = 0;
   int64_t reductions = 0;
+  /// Arena compactions run (every ReduceDB that deletes compacts).
+  int64_t gc_runs = 0;
+  /// Current size of the flat clause buffer, in bytes.
+  int64_t arena_bytes = 0;
 };
 
 /// A CDCL solver.  Typical use:
@@ -61,8 +95,13 @@ class Solver {
   /// Number of allocated variables.
   int NumVars() const { return static_cast<int>(assign_.size()); }
 
-  /// Adds a clause (disjunction of literals).  Returns false if the solver
-  /// is already in an UNSAT state after level-0 simplification (adding the
+  /// Adds a clause (disjunction of literals).  The literal list is
+  /// simplified at level 0 before anything is attached: literals are
+  /// sorted and deduplicated, tautologies (p ∨ ¬p) and clauses already
+  /// satisfied at level 0 are dropped entirely, and false-at-level-0
+  /// literals are removed — so the encoder's generated clause stream
+  /// never watches redundant literals.  Returns false if the solver is
+  /// already in an UNSAT state after the simplification (adding the
   /// empty clause, or a unit that contradicts level-0 knowledge).
   bool AddClause(std::vector<Lit> lits);
 
@@ -85,31 +124,88 @@ class Solver {
 
   const SolverStats& stats() const { return stats_; }
 
+  // --- test hooks (process-wide, off by default) ---
+  /// When on, every Solve entry and every restart additionally compacts
+  /// the arena.  Relocation is required to be bit-for-bit transparent,
+  /// so any observable difference under this hook is a GC bug — the
+  /// metamorphic suite runs workloads with and without it and asserts
+  /// identical models, enumeration orders, and search statistics.
+  static void SetGcStressForTesting(bool on);
+  /// Overrides the adaptive learnt-clause limit with a fixed one (pass
+  /// -1 to restore the default), forcing frequent ReduceDB + GC cycles
+  /// mid-search.  Unlike the GC-stress hook this legitimately changes
+  /// the search path; tests using it compare against independent oracles
+  /// rather than against un-hooked runs.
+  static void SetReduceLimitForTesting(int64_t limit);
+
  private:
+  /// A long-clause watcher: the clause plus a blocker literal whose
+  /// truth proves the clause satisfied without dereferencing it.
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+  /// A binary-clause watcher: the other literal IS the payload; the
+  /// CRef is only the reason/conflict handle for Analyze.
+  struct BinWatcher {
+    Lit other;
+    CRef cref;
+  };
+
+  /// Indexed mutable binary max-heap over variable activities: BumpVar
+  /// percolates the entry in place instead of re-pushing stale copies
+  /// the way the old lazy priority_queue did.
+  class VarOrderHeap {
+   public:
+    void Grow(int num_vars) {
+      indices_.resize(static_cast<size_t>(num_vars), -1);
+    }
+    bool Empty() const { return heap_.empty(); }
+    bool Contains(Var v) const { return indices_[v] >= 0; }
+    void Insert(Var v, const std::vector<double>& act);
+    Var PopMax(const std::vector<double>& act);
+    /// Restores the heap property after act[v] increased (no-op when v
+    /// is not currently in the heap).
+    void Increased(Var v, const std::vector<double>& act) {
+      if (Contains(v)) Up(indices_[v], act);
+    }
+
+   private:
+    void Up(int i, const std::vector<double>& act);
+    void Down(int i, const std::vector<double>& act);
+    std::vector<Var> heap_;
+    std::vector<int> indices_;  ///< per var: heap position or -1
+  };
+
   // --- assignment trail ---
   int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
-  void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void NewDecisionLevel() {
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+  }
   /// Current value of a literal: +1 true, -1 false, 0 unassigned.
   int LitValue(Lit l) const {
     int8_t v = assign_[LitVar(l)];
     return LitIsNeg(l) ? -v : v;
   }
-  void UncheckedEnqueue(Lit l, int reason_clause);
+  void UncheckedEnqueue(Lit l, CRef reason);
   void CancelUntil(int level);
 
   // --- search ---
-  /// Propagates all pending assignments; returns conflicting clause index
-  /// or -1 if no conflict.
-  int Propagate();
+  /// Propagates all pending assignments; returns the conflicting clause
+  /// or kCRefUndef.  Binary watchers first (no arena access), then long
+  /// watchers (arena touched only when the blocker fails).
+  CRef Propagate();
   /// 1UIP conflict analysis; fills `learnt` (learnt[0] is the asserting
-  /// literal) and returns the backjump level.
-  int Analyze(int conflict_clause, std::vector<Lit>* learnt);
-  /// Attaches clause `ci` to the watch lists.
-  void Attach(int ci);
+  /// literal) and returns the backjump level.  Skips the resolved
+  /// literal by value, not by position — binary reasons keep their
+  /// stored literal order.
+  int Analyze(CRef conflict, std::vector<Lit>* learnt);
+  /// Attaches a clause to the (binary or long) watch lists.
+  void Attach(CRef cref);
   /// Picks the next branching literal (VSIDS + saved phase), or kLitUndef.
   Lit PickBranchLit();
   void BumpVar(Var v);
-  void BumpClause(int ci);
+  void BumpClause(CRef cref);
   void DecayActivities() {
     var_inc_ /= 0.95;
     cla_inc_ /= 0.999;
@@ -119,27 +215,37 @@ class Solver {
   int LearntLbd(const std::vector<Lit>& learnt);
   /// Deletes the lowest-activity half of the deletable learnt clauses
   /// (keeping locked reason clauses, binaries, and low-LBD glue), then
-  /// compacts the clause arena and rebuilds the watch lists.  Requires
-  /// decision level 0 with propagation complete.  Without this, learnt
-  /// clauses and the model enumerator's long blocking-clause runs
-  /// (DCIP/CCQA) degrade propagation and memory without bound.
+  /// compacts the arena.  Requires decision level 0 with propagation
+  /// complete.  Without this, learnt clauses and the model enumerator's
+  /// long blocking-clause runs (DCIP/CCQA) degrade propagation and
+  /// memory without bound.
   void ReduceDB();
   /// Runs ReduceDB when the learnt-clause count exceeds the adaptive
   /// limit, growing the limit after each reduction.
   void MaybeReduceDB();
+  /// Two-space arena compaction: relocates every live clause and
+  /// translates the clause list, reason slots, and watcher lists in
+  /// place (order preserved — relocation is bit-for-bit transparent to
+  /// the search).  Level 0 only.
+  void GarbageCollect();
+  void SyncArenaStats() { stats_.arena_bytes = arena_.size_bytes(); }
   /// Luby sequence value for restart scheduling.
   static double Luby(double y, int x);
 
   bool ok_ = true;
-  std::vector<Clause> clauses_;
-  /// watches_[lit]: clause indices watching `lit` (i.e. containing it among
-  /// their first two literals).
-  std::vector<std::vector<int>> watches_;
-  std::vector<int8_t> assign_;   // per var: +1 / -1 / 0
-  std::vector<int> reason_;      // per var: clause index or -1
-  std::vector<int> level_;       // per var
-  std::vector<double> activity_; // per var
-  std::vector<int8_t> phase_;    // per var: last assigned sign (+1/-1)
+  ClauseArena arena_;
+  /// Live clauses (problem + learnt) in insertion order.
+  std::vector<CRef> clauses_;
+  /// watches_[lit]: watchers of long clauses whose watched literal ¬lit
+  /// just became false when lit was enqueued.
+  std::vector<std::vector<Watcher>> watches_;
+  /// bin_watches_[lit]: binary watchers, processed before long ones.
+  std::vector<std::vector<BinWatcher>> bin_watches_;
+  std::vector<int8_t> assign_;    // per var: +1 / -1 / 0
+  std::vector<CRef> reason_;      // per var: reason clause or kCRefUndef
+  std::vector<int> level_;        // per var
+  std::vector<double> activity_;  // per var
+  std::vector<int8_t> phase_;     // per var: last assigned sign (+1/-1)
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;
   size_t qhead_ = 0;
@@ -149,10 +255,11 @@ class Solver {
   /// Learnt-clause count that triggers the next ReduceDB; adapted as the
   /// formula grows and after each reduction.
   int64_t max_learnts_ = 512;
-  std::priority_queue<std::pair<double, Var>> order_heap_;
+  VarOrderHeap order_heap_;
   std::vector<int8_t> model_;
-  std::vector<int8_t> seen_;     // scratch for Analyze
-  std::vector<char> lbd_seen_;   // scratch for LearntLbd
+  std::vector<int8_t> seen_;    // scratch for Analyze
+  std::vector<char> lbd_seen_;  // scratch for LearntLbd
+
   SolverStats stats_;
 
   /// Debug-only confinement guard: set while a mutating entry point

@@ -401,6 +401,70 @@ TEST(SolverTest, LearntClauseDeletionKeepsAnswersAndFrees) {
   EXPECT_EQ(s.SolveWithAssumptions({MakeLit(gate)}), SolveResult::kUnsat);
 }
 
+TEST(SolverTest, ReductionCompactsArena) {
+  // The learnt-clause reduction must reclaim arena memory: after a
+  // conflict-heavy run with deletions, the compaction counter advances
+  // and the arena stat reflects the live buffer.
+  const int pigeons = 7, holes = 6;
+  Solver s;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) x[p][h] = s.NewVar();
+  }
+  Var gate = s.NewVar();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c{MakeLit(gate, true)};
+    for (int h = 0; h < holes; ++h) c.push_back(MakeLit(x[p][h]));
+    ASSERT_TRUE(s.AddClause(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        ASSERT_TRUE(s.AddClause({MakeLit(x[p1][h], true),
+                                 MakeLit(x[p2][h], true)}));
+      }
+    }
+  }
+  EXPECT_GT(s.stats().arena_bytes, 0);
+  int64_t bytes_before_search = s.stats().arena_bytes;
+  EXPECT_EQ(s.SolveWithAssumptions({MakeLit(gate)}), SolveResult::kUnsat);
+  ASSERT_GT(s.stats().reductions, 0);
+  EXPECT_EQ(s.stats().gc_runs, s.stats().reductions);
+  EXPECT_GT(s.stats().deleted_clauses, 0);
+  // Learnt clauses grew the arena past the problem clauses, but the
+  // compactions kept it from retaining every deleted clause's words:
+  // the final arena is far below problem + all-learnts.
+  EXPECT_GT(s.stats().arena_bytes, bytes_before_search);
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, AddClauseSimplifiesBeforeAttach) {
+  // Duplicate literals collapse and false-at-level-0 literals are
+  // dropped before anything is watched: {a, a, b} with ¬b known at level
+  // 0 must behave exactly like the unit {a}.
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(b, true)}));
+  ASSERT_TRUE(s.AddClause({MakeLit(a), MakeLit(a), MakeLit(b)}));
+  // The clause simplified to the unit {a}: asserting ¬a is now a
+  // level-0 contradiction, not merely an unsatisfiable assumption.
+  EXPECT_FALSE(s.AddClause({MakeLit(a, true)}));
+  EXPECT_TRUE(s.IsUnsatForever());
+}
+
+TEST(SolverTest, SatisfiedAtLevelZeroClauseIsDropped) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddClause({MakeLit(a)}));
+  int64_t bytes = s.stats().arena_bytes;
+  // Satisfied at level 0: dropped entirely, no arena growth.
+  ASSERT_TRUE(s.AddClause({MakeLit(a), MakeLit(b)}));
+  EXPECT_EQ(s.stats().arena_bytes, bytes);
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
 TEST(ModelEnumeratorTest, EnumeratesAllProjectedModels) {
   Solver s;
   Var a = s.NewVar();
