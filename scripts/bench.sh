@@ -12,6 +12,14 @@
 #    bench_serve self-checks every answer against the one-shot solver
 #    and enforces the >= 5x amortization floor.
 #
+#  * BENCH_chase.json — routed-vs-forced chase routing on a 1024-entity
+#    constraint-free sharded workload: cold bring-up, warm COP batches
+#    and mutate-then-requery for a chase-routed session against the same
+#    session with use_chase_routing=false.  bench_chase_routing diffs
+#    every routed answer against the forced-SAT session, checks the
+#    incremental-chase reuse counters, and enforces the >= 3x warm-query
+#    speedup floor.
+#
 #  * BENCH_sat.json — single-threaded SAT-core throughput on the
 #    1024-entity chained-component CPS/COP workload: propagations/sec,
 #    conflicts/sec, per-phase wall clock, and arena bytes for the
@@ -37,16 +45,23 @@ cd "$repo_root"
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S .
 fi
-cmake --build "$build_dir" -j "$(nproc)" --target bench_serve bench_sat_core
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target bench_serve bench_chase_routing bench_sat_core
 
 "$build_dir/bench/bench_serve" \
   --entities=1024 --queries=16 --iters=5 \
   --require-speedup=5 \
   --out="$repo_root/BENCH_serve.json"
 
+"$build_dir/bench/bench_chase_routing" \
+  --entities=1024 --queries=64 --iters=5 \
+  --require-speedup=3 \
+  --out="$repo_root/BENCH_chase.json"
+
 "$build_dir/bench/bench_sat_core" \
   --entities=1024 --probes=2048 \
   --require-speedup=1.3 \
   --out="$repo_root/BENCH_sat.json"
 
-echo "bench: wrote $repo_root/BENCH_serve.json and $repo_root/BENCH_sat.json"
+echo "bench: wrote $repo_root/BENCH_serve.json, $repo_root/BENCH_chase.json" \
+  "and $repo_root/BENCH_sat.json"

@@ -13,13 +13,16 @@
 # that matter — exec_test (thread-pool semantics),
 # parallel_equivalence_test (CPS/COP/DCIP/CCQA across thread counts),
 # session_equivalence_test (the serving layer's shared-pool batches),
+# chase_routing_equivalence_test (chase-routed vs forced-SAT answers,
+# including the per-component fixpoint slots confined to pool tasks),
 # and sat_metamorphic_test (arena compaction inside pooled session
 # tasks) — so data races in the decomposed solvers fail CI even on
 # hardware where they never misbehave.
 #
 # The ASan+UBSan pass (CURRENCY_ASAN, a third build tree) runs the serve
-# and exec suites plus sat_metamorphic_test: the session layer moves
-# encoders between epochs and hands borrowed pools/encoders across
+# and exec suites plus chase_routing_equivalence_test and
+# sat_metamorphic_test: the session layer moves encoders AND chase
+# fixpoints between epochs and hands borrowed pools/encoders across
 # threads, and the SAT core's garbage collector relocates every clause
 # and rewrites watcher/reason references in place — exactly the lifetime
 # traffic AddressSanitizer is built to police.
@@ -44,11 +47,13 @@ cmake -B "$tsan_dir" -S . \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j "$(nproc)" \
   --target exec_test parallel_equivalence_test serve_test \
-           session_equivalence_test sat_metamorphic_test
+           session_equivalence_test chase_routing_equivalence_test \
+           sat_metamorphic_test
 "$tsan_dir/tests/exec_test"
 "$tsan_dir/tests/parallel_equivalence_test"
 "$tsan_dir/tests/serve_test"
 "$tsan_dir/tests/session_equivalence_test"
+"$tsan_dir/tests/chase_routing_equivalence_test"
 "$tsan_dir/tests/sat_metamorphic_test"
 
 asan_dir="${build_dir}-asan"
@@ -59,8 +64,9 @@ cmake -B "$asan_dir" -S . \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$asan_dir" -j "$(nproc)" \
   --target exec_test serve_test session_equivalence_test \
-           sat_metamorphic_test
+           chase_routing_equivalence_test sat_metamorphic_test
 "$asan_dir/tests/exec_test"
 "$asan_dir/tests/serve_test"
 "$asan_dir/tests/session_equivalence_test"
+"$asan_dir/tests/chase_routing_equivalence_test"
 "$asan_dir/tests/sat_metamorphic_test"

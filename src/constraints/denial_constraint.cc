@@ -83,6 +83,25 @@ void DenialConstraint::EnumerateGroundings(
 void DenialConstraint::EnumerateGroundingsForGroup(
     const Relation& relation, const std::vector<TupleId>& members,
     const std::function<void(const Grounding&)>& emit) const {
+  GroundingsForGroup(relation, members, [&](const Grounding& g) {
+    emit(g);
+    return true;
+  });
+}
+
+bool DenialConstraint::HasGroundingForGroup(
+    const Relation& relation, const std::vector<TupleId>& members) const {
+  bool found = false;
+  GroundingsForGroup(relation, members, [&](const Grounding&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+void DenialConstraint::GroundingsForGroup(
+    const Relation& relation, const std::vector<TupleId>& members,
+    const std::function<bool(const Grounding&)>& emit) const {
   // The lower-bound constructions of the paper use constraints with many
   // tuple variables over one large entity group, so naive |G|^k nested
   // loops are hopeless even for tiny inputs.  We instead backtrack with
@@ -160,13 +179,14 @@ void DenialConstraint::EnumerateGroundingsForGroup(
       checks[ready].push_back(c);
     }
 
-    std::function<void(int)> rec = [&](int depth) {
+    // rec returns false when emit asked to stop the search.
+    std::function<bool(int)> rec = [&](int depth) {
       if (depth == num_tuple_vars_) {
         Grounding g;
         for (const OrderAtom& a : order_premises_) {
           TupleId u = assignment[a.before];
           TupleId v = assignment[a.after];
-          if (u == v) return;  // premise u ≺ u is false: implication vacuous
+          if (u == v) return true;  // premise u ≺ u false: vacuous
           g.premises.push_back(GroundOrderAtom{a.attr, u, v});
         }
         TupleId cu = assignment[conclusion_.before];
@@ -176,8 +196,7 @@ void DenialConstraint::EnumerateGroundingsForGroup(
         } else {
           g.conclusion = GroundOrderAtom{conclusion_.attr, cu, cv};
         }
-        emit(g);
-        return;
+        return emit(g);
       }
       int var = order[depth];
       for (TupleId id : candidates[var]) {
@@ -190,8 +209,9 @@ void DenialConstraint::EnumerateGroundingsForGroup(
             break;
           }
         }
-        if (ok) rec(depth + 1);
+        if (ok && !rec(depth + 1)) return false;
       }
+      return true;
     };
     rec(0);
   }

@@ -124,6 +124,13 @@ class DenialConstraint {
       const Relation& relation, const std::vector<TupleId>& members,
       const std::function<void(const Grounding&)>& emit) const;
 
+  /// True iff at least one grounding exists for the entity group `members`
+  /// (same semantics as EnumerateGroundingsForGroup: vacuous instantiations
+  /// do not count).  Stops at the first match, so classifying a group that
+  /// the constraint touches is much cheaper than enumerating it.
+  bool HasGroundingForGroup(const Relation& relation,
+                            const std::vector<TupleId>& members) const;
+
   /// True iff the (possibly partial) per-attribute `orders` satisfy the
   /// constraint: every grounding with all premises present has its
   /// conclusion present.  For completed orders this is exactly the paper's
@@ -136,6 +143,12 @@ class DenialConstraint {
 
  private:
   DenialConstraint() = default;
+
+  /// Backtracking core shared by enumeration and the existence check;
+  /// `emit` returns false to stop the search.
+  void GroundingsForGroup(
+      const Relation& relation, const std::vector<TupleId>& members,
+      const std::function<bool(const Grounding&)>& emit) const;
 
   std::string relation_name_;
   int num_tuple_vars_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "src/core/decompose.h"
 #include "src/core/sp_ccqa.h"
@@ -138,9 +140,70 @@ Result<std::set<Tuple>> CertainAnswersVia(
   return certain;
 }
 
+Result<std::set<Tuple>> SpAnswersViaComponentChases(
+    DecomposedEncoder* decomposed, const Specification& spec,
+    const query::Query& q, const std::vector<int>& relevant) {
+  std::vector<std::string> rels = q.body->Relations();
+  if (rels.size() != 1) {
+    return Status::Unsupported("SP query must reference exactly one relation");
+  }
+  ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(rels[0]));
+  // Assemble the instance's PO∞ from its components' chase fixpoints.
+  // Declared currency orders only relate tuples of one entity, and the
+  // chase derives only within-group pairs, so the per-group fixpoints
+  // carry every certain pair of the instance.
+  std::vector<std::vector<PartialOrder>> orders(spec.num_instances());
+  const TemporalInstance& instance = spec.instance(inst);
+  orders[inst].assign(instance.schema().arity(),
+                      PartialOrder(instance.relation().size()));
+  for (int c : relevant) {
+    ASSIGN_OR_RETURN(const ComponentChase* chase,
+                     decomposed->ComponentChaseFixpoint(c));
+    RETURN_IF_ERROR(MergeComponentOrdersInto(*chase, inst, &orders[inst]));
+  }
+  return SpAnswersFromCertainOrders(spec, orders, q);
+}
+
 }  // namespace internal
 
 namespace {
+
+/// The component-level SP fast path (Proposition 6.3 applied to S
+/// restricted to the query's components): applies when chase routing is
+/// on, `q` is SP over exactly one relation, and every component that
+/// relation's entities touch is chase-eligible.  Denial constraints
+/// elsewhere in the specification do not matter — Mod(S) factors over
+/// components, so the query's answers are decided by the eligible
+/// components' completions alone (given overall consistency, which
+/// SolveAll establishes).  Returns an empty optional when the path does
+/// not apply, Status::Inconsistent when Mod(S) = ∅, and the certain
+/// current answers otherwise.
+Result<std::optional<std::set<Tuple>>> TryComponentSpAnswers(
+    DecomposedEncoder* decomposed, const Specification& spec,
+    const query::Query& q, const std::vector<int>& relevant,
+    const CcqaOptions& options, exec::ThreadPool* pool) {
+  std::optional<std::set<Tuple>> not_applicable;
+  if (!options.use_sp_fast_path || !decomposed->chase_routing() ||
+      !query::IsSpQuery(q)) {
+    return not_applicable;
+  }
+  std::vector<std::string> rels = q.body->Relations();
+  if (rels.size() != 1) return not_applicable;
+  for (int c : relevant) {
+    if (!decomposed->decomposition().chase_eligible(c)) return not_applicable;
+  }
+  // Vacuity of the WHOLE specification — the intersection defining
+  // certain answers ranges over completions of every component.
+  ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, pool));
+  if (!consistent) {
+    return Status::Inconsistent(
+        "Mod(S) is empty: every tuple is vacuously a certain answer");
+  }
+  ASSIGN_OR_RETURN(
+      std::set<Tuple> answers,
+      internal::SpAnswersViaComponentChases(decomposed, spec, q, relevant));
+  return std::optional<std::set<Tuple>>(std::move(answers));
+}
 
 /// Certain-membership check.  The decomposed path restricts the blocking
 /// loop to the coupling components the query's instances touch; the other
@@ -153,12 +216,23 @@ Result<bool> CheckCertainMember(const Specification& spec,
   Encoder::Options enc = options.encoder;
   enc.define_is_last = true;
   if (options.use_decomposition) {
-    ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+    ASSIGN_OR_RETURN(auto decomposed,
+                     DecomposedEncoder::Build(spec, enc,
+                                              options.use_chase_routing));
     std::vector<int> relevant =
         decomposed->decomposition().ComponentsOfInstances(instances);
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =
         exec::ResolvePool(options.pool, options.num_threads, local_pool);
+    {
+      auto sp = TryComponentSpAnswers(decomposed.get(), spec, q, relevant,
+                                      options, pool);
+      if (!sp.ok() && sp.status().code() == StatusCode::kInconsistent) {
+        return true;  // Mod(S) = ∅: vacuously certain
+      }
+      RETURN_IF_ERROR(sp.status());
+      if (sp->has_value()) return (**sp).count(t) > 0;
+    }
     ASSIGN_OR_RETURN(bool rest_consistent,
                      decomposed->SolveAll(relevant, pool));
     if (!rest_consistent) return true;  // Mod(S) = ∅: vacuously certain
@@ -196,15 +270,108 @@ Result<sat::ProjectedModelEnumeration> EnumerateEncoderCurrentInstances(
   return result;
 }
 
+/// Enumerates the current fragments of a chase-routed singleton component
+/// directly from its chase fixpoint: with no denial constraint grounding
+/// and no coupling copy bucket on the group, each attribute picks its
+/// current value independently, so the fragments are the cartesian
+/// product of the per-attribute certain-sink values (Lemma 6.2 on S|_c).
+/// Output is capped at `budget`, mirroring the SAT enumerator's
+/// max_models truncation.
+Status AppendChaseFragments(DecomposedEncoder* decomposed,
+                            const Specification& spec, int c, int64_t budget,
+                            std::vector<std::vector<Relation>>* out) {
+  ASSIGN_OR_RETURN(const ComponentChase* chase,
+                   decomposed->ComponentChaseFixpoint(c));
+  if (chase->nodes.size() != 1) {
+    return Status::Internal("chase-enumerable component is not a singleton");
+  }
+  const ComponentChase::Node& node = chase->nodes.front();
+  const Relation& rel = spec.instance(node.inst).relation();
+  AttrIndex arity = spec.instance(node.inst).schema().arity();
+  std::vector<int> all(node.members.size());
+  for (size_t k = 0; k < all.size(); ++k) all[k] = static_cast<int>(k);
+  // attr_values[a-1]: the distinct possible current values of attribute
+  // a, in Value order.
+  std::vector<std::vector<Value>> attr_values;
+  for (AttrIndex a = 1; a < arity; ++a) {
+    std::set<Value> distinct;
+    for (int s : node.orders[a].SinksWithin(all)) {
+      distinct.insert(rel.tuple(node.members[s]).at(a));
+    }
+    attr_values.emplace_back(distinct.begin(), distinct.end());
+  }
+  std::vector<size_t> pick(attr_values.size(), 0);
+  while (static_cast<int64_t>(out->size()) < budget) {
+    std::vector<Value> values(arity);
+    values[0] = node.eid;
+    for (AttrIndex a = 1; a < arity; ++a) {
+      values[a] = attr_values[a - 1][pick[a - 1]];
+    }
+    std::vector<Relation> fragment;
+    fragment.reserve(spec.num_instances());
+    for (int i = 0; i < spec.num_instances(); ++i) {
+      fragment.emplace_back(spec.instance(i).schema());
+    }
+    RETURN_IF_ERROR(
+        fragment[node.inst].Append(Tuple(std::move(values))).status());
+    out->push_back(std::move(fragment));
+    // Advance the odometer.
+    size_t a = 0;
+    for (; a < pick.size(); ++a) {
+      if (++pick[a] < attr_values[a].size()) break;
+      pick[a] = 0;
+    }
+    if (a == pick.size()) break;
+  }
+  return Status::OK();
+}
+
+/// Serialization key of one fragment, used to canonicalize per-component
+/// fragment order below.
+std::string FragmentKey(const std::vector<Relation>& fragment) {
+  std::string key;
+  for (const Relation& rel : fragment) {
+    for (const Tuple& t : rel.tuples()) {
+      key += t.ToString();
+      key += '\n';
+    }
+    key += '\x02';
+  }
+  return key;
+}
+
+/// Sorts a component's fragments by serialized content.  Chase-built
+/// fragments and SAT-enumerated projected models traverse the same set in
+/// different orders; canonicalizing makes the product walk's enumeration
+/// order identical across routing modes (the differential suites assert
+/// it bit-for-bit).
+void SortFragments(std::vector<std::vector<Relation>>* fragments) {
+  std::vector<std::pair<std::string, size_t>> keys;
+  keys.reserve(fragments->size());
+  for (size_t i = 0; i < fragments->size(); ++i) {
+    keys.emplace_back(FragmentKey((*fragments)[i]), i);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::vector<Relation>> sorted;
+  sorted.reserve(fragments->size());
+  for (const auto& [key, i] : keys) {
+    sorted.push_back(std::move((*fragments)[i]));
+  }
+  *fragments = std::move(sorted);
+}
+
 /// Decomposed current-instance enumeration: the distinct current
 /// instances of S are the cartesian product of the per-component current
-/// fragments, so each component is enumerated once (small SAT instances)
-/// and the fragments are recombined without further solving.
+/// fragments, so each component is enumerated once (small SAT instances,
+/// or the chase fixpoint directly for chase-enumerable components) and
+/// the fragments are recombined without further solving.
 Result<int64_t> ForEachCurrentInstanceDecomposed(
     const Specification& spec, const Encoder::Options& enc,
     const CcqaOptions& options,
     const std::function<bool(const query::Database&)>& visit) {
-  ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+  ASSIGN_OR_RETURN(auto decomposed,
+                   DecomposedEncoder::Build(spec, enc,
+                                            options.use_chase_routing));
   std::optional<exec::ThreadPool> local_pool;
   exec::ThreadPool* pool =
       exec::ResolvePool(options.pool, options.num_threads, local_pool);
@@ -232,6 +399,24 @@ Result<int64_t> ForEachCurrentInstanceDecomposed(
   RETURN_IF_ERROR(pool->ParallelFor(
       num_components,
       [&](int c) -> Status {
+        if (decomposed->chase_routed_enumerable(c)) {
+          // SolveAll above established the fixpoint's consistency, so
+          // the fragment product is never empty here.
+          Status built =
+              AppendChaseFragments(decomposed.get(), spec, c,
+                                   options.max_current_instances,
+                                   &fragments[c]);
+          if (!built.ok()) {
+            component_status[c] = built;
+            cancel.Cancel();
+          } else {
+            SortFragments(&fragments[c]);
+          }
+          return Status::OK();
+        }
+        // Chase-routed components that are NOT enumerable (multi-node, or
+        // touched by a coupling copy bucket) fall back to the SAT
+        // enumerator: ComponentEncoder builds theirs on first use.
         auto encoder = decomposed->ComponentEncoder(c);
         if (!encoder.ok()) {
           component_status[c] = encoder.status();
@@ -249,6 +434,8 @@ Result<int64_t> ForEachCurrentInstanceDecomposed(
           cancel.Cancel();
         } else if (fragments[c].empty()) {
           cancel.Cancel();  // component UNSAT: Mod(S) = ∅, answered below
+        } else {
+          SortFragments(&fragments[c]);
         }
         return Status::OK();
       },
@@ -336,7 +523,9 @@ Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
   Encoder::Options enc = options.encoder;
   enc.define_is_last = true;
   if (options.use_decomposition) {
-    ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+    ASSIGN_OR_RETURN(auto decomposed,
+                     DecomposedEncoder::Build(spec, enc,
+                                              options.use_chase_routing));
     std::vector<int> relevant =
         decomposed->decomposition().ComponentsOfInstances(instances);
     // Vacuity of the untouched components, checked once for all
@@ -344,6 +533,12 @@ Result<std::set<Tuple>> CertainCurrentAnswers(const Specification& spec,
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =
         exec::ResolvePool(options.pool, options.num_threads, local_pool);
+    {
+      ASSIGN_OR_RETURN(std::optional<std::set<Tuple>> sp,
+                       TryComponentSpAnswers(decomposed.get(), spec, q,
+                                             relevant, options, pool));
+      if (sp.has_value()) return *std::move(sp);
+    }
     ASSIGN_OR_RETURN(bool rest_consistent,
                      decomposed->SolveAll(relevant, pool));
     if (!rest_consistent) {

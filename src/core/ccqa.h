@@ -33,6 +33,8 @@ class ThreadPool;
 
 namespace currency::core {
 
+class DecomposedEncoder;
+
 /// Options for the CCQA solvers.
 struct CcqaOptions {
   /// Budget on distinct current instances enumerated by the general path.
@@ -51,6 +53,15 @@ struct CcqaOptions {
   /// combination, so callers that stop early still pay the per-component
   /// enumeration (never more than the budget above).
   bool use_decomposition = true;
+  /// On the decomposed path, serve chase-eligible components (no denial
+  /// constraint grounds on any of their entity groups) from the
+  /// polynomial chase fixpoint instead of SAT: enumeration builds their
+  /// current fragments directly from the per-attribute certain sinks
+  /// (singleton, uncoupled components), and SP queries whose relevant
+  /// components are all eligible answer via Proposition 6.3 on the
+  /// assembled component orders — even when the specification carries
+  /// denial constraints elsewhere.  SAT remains the fallback.
+  bool use_chase_routing = true;
   /// Threads for the decomposed path: consistency pre-solves and the
   /// per-component current-fragment enumerations run concurrently (the
   /// certain-membership blocking loop itself stays sequential — it works
@@ -114,6 +125,17 @@ Result<std::set<Tuple>> CertainAnswersVia(
     const std::function<Result<std::unique_ptr<Encoder>>()>& make_encoder,
     const Specification& spec, const query::Query& q,
     const std::vector<int>& instances, const CcqaOptions& options);
+
+/// The chase-routed SP path shared by the one-shot solvers and the
+/// serving layer's CcqaBatch: assembles the query instance's PO∞ from the
+/// chase fixpoints of `relevant` and answers `q` via Proposition 6.3.
+/// Preconditions the caller must have established: Mod(S) ≠ ∅, `q` is SP
+/// over exactly one relation, and `relevant` is exactly that relation's
+/// components, all chase-eligible.  Only reads cached fixpoints (computing
+/// missing ones), so concurrent callers must warm them first.
+Result<std::set<Tuple>> SpAnswersViaComponentChases(
+    DecomposedEncoder* decomposed, const Specification& spec,
+    const query::Query& q, const std::vector<int>& relevant);
 
 }  // namespace internal
 

@@ -47,7 +47,8 @@ Result<bool> IsCertainOrder(const Specification& spec,
   // baked in, that assumption is just ¬ord(u, v).
   if (options.use_decomposition) {
     ASSIGN_OR_RETURN(auto decomposed,
-                     DecomposedEncoder::Build(spec, options.encoder));
+                     DecomposedEncoder::Build(spec, options.encoder,
+                                              options.use_chase_routing));
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =
         exec::ResolvePool(options.pool, options.num_threads, local_pool);
@@ -81,6 +82,24 @@ Result<bool> IsCertainOrder(const Specification& spec,
     RETURN_IF_ERROR(pool->ParallelFor(
         static_cast<int>(groups.size()),
         [&](int k) -> Status {
+          if (decomposed->chase_routed(groups[k].first)) {
+            // Lemma 6.2 on S|_c: a pair is certain iff it is in the
+            // component's PO∞ (CertainLess also refutes cross-entity
+            // pairs — the `after` tuple lies outside the group).  The
+            // fixpoint was cached by SolveAll above.
+            ASSIGN_OR_RETURN(
+                const ComponentChase* chase,
+                decomposed->ComponentChaseFixpoint(groups[k].first));
+            for (const RequiredPair* p : *groups[k].second) {
+              if (!chase->CertainLess(inst, rel.tuple(p->before).eid(),
+                                      p->attr, p->before, p->after)) {
+                refuted[k] = 1;
+                cancel.Cancel();
+                return Status::OK();
+              }
+            }
+            return Status::OK();
+          }
           ASSIGN_OR_RETURN(Encoder * encoder,
                            decomposed->ComponentEncoder(groups[k].first));
           for (const RequiredPair* p : *groups[k].second) {

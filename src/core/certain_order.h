@@ -43,6 +43,11 @@ struct CopOptions {
   /// check solves each small component once, and every queried pair is
   /// refuted inside the single component owning its entity group.
   bool use_decomposition = true;
+  /// On the decomposed path, answer pairs owned by chase-eligible
+  /// components from the component chase fixpoint (pair certain iff it is
+  /// in the component's PO∞ — Lemma 6.2 applied to S|_c) instead of SAT
+  /// probes; SAT remains the fallback for constrained components.
+  bool use_chase_routing = true;
   /// Threads for the decomposed path: the vacuity check solves components
   /// concurrently, then the queried pairs are refuted in parallel per
   /// owning component (pairs sharing a component stay in query order on

@@ -13,6 +13,8 @@
 #ifndef CURRENCY_SRC_CORE_CHASE_H_
 #define CURRENCY_SRC_CORE_CHASE_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -33,7 +35,67 @@ struct ChaseResult {
   std::vector<std::vector<PartialOrder>> certain_orders;
   /// Number of propagation passes until fixpoint (for the benchmarks).
   int passes = 0;
+  /// Mapped pairs scanned across all propagation passes (the chase
+  /// analogue of SolverStats propagation counters).
+  int64_t edges_expanded = 0;
+  /// Order pairs actually derived (successful TryAdds, including denial
+  /// conclusions on the CertainOrderPrefix variant).
+  int64_t derived_pairs = 0;
 };
+
+/// The copy-order chase restricted to one coupling component, in the
+/// component's own coordinates.  For a chase-eligible component (no denial
+/// constraint grounds on any of its entity groups) this is the complete
+/// PO∞ of the component sub-specification: copy buckets never straddle
+/// components and denial groundings are entity-group-local, so chasing a
+/// component in isolation derives exactly the pairs the whole-spec chase
+/// would derive inside it.
+struct ComponentChase {
+  /// False iff a cyclic order requirement was derived within the
+  /// component (Mod(S) = ∅ for the whole specification).
+  bool consistent = true;
+  int passes = 0;
+  int64_t edges_expanded = 0;
+  int64_t derived_pairs = 0;
+
+  /// One entity group of the component.  `orders[a]` is PO∞ for data
+  /// attribute a over LOCAL indices into `members` (ascending TupleIds,
+  /// the EntityGroups order); orders[0] is an empty placeholder so that
+  /// attribute indices line up with the schema.
+  struct Node {
+    int inst = -1;
+    Value eid;
+    std::vector<TupleId> members;
+    std::vector<PartialOrder> orders;
+  };
+  std::vector<Node> nodes;
+
+  /// The node for (inst, eid), or nullptr if the component has none.
+  const Node* FindNode(int inst, const Value& eid) const;
+
+  /// True iff u ≺_attr v is certain, where u and v are TupleIds of
+  /// instance `inst` within the entity group `eid`.  False when either
+  /// tuple lies outside the group (cross-entity pairs are never certain).
+  bool CertainLess(int inst, const Value& eid, AttrIndex attr, TupleId u,
+                   TupleId v) const;
+};
+
+/// Runs the copy-order chase over the sub-specification induced by the
+/// component whose entity groups are `nodes` ((instance, eid) pairs):
+/// initial orders restricted to the groups, propagation along the copy
+/// buckets both of whose endpoints lie in the component.  `copy_index`
+/// as in ChaseCopyOrders.
+Result<ComponentChase> ChaseComponentOrders(
+    const Specification& spec,
+    const std::vector<std::pair<int, Value>>& nodes,
+    const CopyBucketIndex* copy_index = nullptr);
+
+/// Merges a component chase's certain orders for instance `inst` into
+/// `orders` (per-attribute partial orders over global TupleIds, sized for
+/// the instance's relation).  Used to assemble instance-level PO∞ from
+/// per-component fixpoints for the SP CCQA pipeline.
+Status MergeComponentOrdersInto(const ComponentChase& chase, int inst,
+                                std::vector<PartialOrder>* orders);
 
 /// Runs the chase.  Fails (error Status) only on malformed specifications
 /// (unresolvable copy signatures); an inconsistent-but-well-formed

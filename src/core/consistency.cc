@@ -25,8 +25,11 @@ Result<CpsOutcome> DecideConsistency(const Specification& spec,
     // Mod(S) factors over coupling components, so S is consistent iff
     // every component is; SolveAll short-circuits on the first UNSAT one
     // (and, with num_threads > 1, solves components concurrently).
-    ASSIGN_OR_RETURN(auto decomposed,
-                     DecomposedEncoder::Build(spec, options.encoder));
+    ASSIGN_OR_RETURN(
+        auto decomposed,
+        DecomposedEncoder::Build(
+            spec, options.encoder,
+            options.use_chase_routing && !options.want_witness));
     outcome.components = decomposed->num_components();
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =

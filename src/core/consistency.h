@@ -35,6 +35,13 @@ struct CpsOptions {
   /// early exit on the first UNSAT component.  Disable to force one
   /// monolithic encoding (ablation / equivalence testing).
   bool use_decomposition = true;
+  /// On the decomposed path, decide chase-eligible components (no denial
+  /// grounding touches them) by the polynomial copy-order chase instead
+  /// of building their SAT encoders; SAT remains the fallback for the
+  /// constrained components of the same specification.  Ignored when
+  /// `want_witness` forces full encoders.  Disable to force pure SAT
+  /// (equivalence testing / ablation).
+  bool use_chase_routing = true;
   /// Threads for the decomposed path (src/exec/thread_pool.h): components
   /// are solved concurrently with first-UNSAT cancellation.  Counts the
   /// calling thread; 1 (the default) runs strictly sequentially.  Answers

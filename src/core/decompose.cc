@@ -73,6 +73,11 @@ Result<Decomposition> Decomposition::Build(const Specification& spec) {
     }
   }
   UnionFind uf(static_cast<int>(nodes.size()));
+  // Nodes touched by a coupling (≥ 2-distinct-source) copy bucket; such a
+  // node's attributes are value-correlated with its bucket peers, which
+  // disqualifies it from chase-only fragment ENUMERATION (eligibility for
+  // the chase decision procedures is unaffected).
+  std::vector<char> coupled(nodes.size(), 0);
 
   // Copy edges: a ≺-compatibility clause arises between two mappings
   // (t1 ⇐ s1), (t2 ⇐ s2) exactly when t1, t2 share a target entity,
@@ -97,8 +102,11 @@ Result<Decomposition> Decomposition::Build(const Specification& spec) {
     }
     for (const auto& [key, sources] : bucket_sources) {
       if (sources.size() < 2) continue;  // no clause between these groups
-      uf.Unite(node_id[edge.target_instance].at(key.first),
-               node_id[edge.source_instance].at(key.second));
+      int tn = node_id[edge.target_instance].at(key.first);
+      int sn = node_id[edge.source_instance].at(key.second);
+      uf.Unite(tn, sn);
+      coupled[tn] = 1;
+      coupled[sn] = 1;
     }
   }
 
@@ -143,31 +151,53 @@ Result<Decomposition> Decomposition::Build(const Specification& spec) {
   // (a) its member tuples, (b) the initial orders among them, (c) the
   // ≥2-distinct-source copy buckets — single-source buckets emit neither
   // ≺-compatibility clauses nor chase derivations, both of which need two
-  // mappings with distinct sources — and (d) the owning instances'
-  // denial-constraint texts, whose groundings are a function of the texts
-  // and the member values; chase seeding, when enabled, derives only from
+  // mappings with distinct sources — and (d) per member group, the texts
+  // of exactly the denial constraints with at least one grounding on the
+  // group (a grounding set is a function of the constraint text and the
+  // member values, and the values are hashed under 0xA0; constraints that
+  // ground to nothing contribute no clauses and no closure rules, so
+  // adding or removing one must not — and does not — move any
+  // fingerprint); chase seeding, when enabled, derives only from
   // (b) + (c) inside the component.  Options and schemas are
-  // edit-invariant and deliberately not hashed.
+  // edit-invariant and deliberately not hashed.  The same grounding scan
+  // decides chase-eligibility: a component none of whose groups is
+  // touched by any grounding is effectively constraint-free.
   std::vector<Fingerprinter> fp(d.components_.size());
-  std::vector<uint64_t> constraint_hash(spec.num_instances(), 0);
+  std::vector<std::vector<std::string>> constraint_texts(spec.num_instances());
   for (int i = 0; i < spec.num_instances(); ++i) {
-    Fingerprinter ch;
     for (const auto& dc : spec.constraints_for(i)) {
-      ch.MixString(dc.ToString(spec.instance(i).schema()));
+      constraint_texts[i].push_back(dc.ToString(spec.instance(i).schema()));
     }
-    constraint_hash[i] = ch.h;
   }
+  d.chase_eligible_.assign(d.components_.size(), 1);
   for (size_t c = 0; c < d.components_.size(); ++c) {
     for (const EntityNode& node : d.components_[c]) {
       const Relation& rel = spec.instance(node.inst).relation();
+      const std::vector<TupleId>& members = rel.EntityGroups().at(node.eid);
       fp[c].Mix(0xA0);  // domain separator: nodes + members
       fp[c].Mix(static_cast<uint64_t>(node.inst));
       fp[c].MixValue(node.eid);
-      fp[c].Mix(constraint_hash[node.inst]);
-      for (TupleId t : rel.EntityGroups().at(node.eid)) {
+      const auto& dcs = spec.constraints_for(node.inst);
+      for (size_t k = 0; k < dcs.size(); ++k) {
+        if (!dcs[k].HasGroundingForGroup(rel, members)) continue;
+        d.chase_eligible_[c] = 0;
+        fp[c].Mix(0xD0);  // domain separator: grounded constraints
+        fp[c].MixString(constraint_texts[node.inst][k]);
+      }
+      for (TupleId t : members) {
         fp[c].Mix(static_cast<uint64_t>(t));
         for (const Value& v : rel.tuple(t).values()) fp[c].MixValue(v);
       }
+    }
+  }
+  d.chase_enumerable_.assign(d.components_.size(), 0);
+  for (size_t c = 0; c < d.components_.size(); ++c) {
+    if (!d.chase_eligible_[c] || d.components_[c].size() != 1) continue;
+    const EntityNode& node = d.components_[c][0];
+    // A singleton component is bucket-free unless a self-copy bucket
+    // (target and source the same group) couples its attributes.
+    if (!coupled[node_id[node.inst].at(node.eid)]) {
+      d.chase_enumerable_[c] = 1;
     }
   }
   for (int i = 0; i < spec.num_instances(); ++i) {
@@ -246,10 +276,12 @@ EntityFilter Decomposition::FilterFor(
 }
 
 Result<std::unique_ptr<DecomposedEncoder>> DecomposedEncoder::Build(
-    const Specification& spec, const Encoder::Options& options) {
+    const Specification& spec, const Encoder::Options& options,
+    bool use_chase_routing) {
   std::unique_ptr<DecomposedEncoder> de(new DecomposedEncoder());
   de->spec_ = &spec;
   de->options_ = options;
+  de->use_chase_routing_ = use_chase_routing;
   de->options_.restrict_to = nullptr;  // set per component below
   de->options_.copy_index = nullptr;   // points into copy_index_ per build
   de->options_.chase_seed = nullptr;   // points into chase_seed_ per build
@@ -273,7 +305,51 @@ Result<std::unique_ptr<DecomposedEncoder>> DecomposedEncoder::Build(
     de->filters_.push_back(de->decomposition_.FilterFor({c}));
   }
   de->encoders_.resize(n);
+  de->chases_.resize(n);
   return de;
+}
+
+Result<const ComponentChase*> DecomposedEncoder::ComponentChaseFixpoint(
+    int c) {
+  if (c < 0 || c >= num_components()) {
+    return Status::InvalidArgument("component index out of range");
+  }
+  if (!decomposition_.chase_eligible(c)) {
+    return Status::InvalidArgument(
+        "component " + std::to_string(c) + " is not chase-eligible");
+  }
+  if (chases_[c] == nullptr) {
+    std::vector<std::pair<int, Value>> nodes;
+    for (const EntityNode& node : decomposition_.component(c)) {
+      nodes.emplace_back(node.inst, node.eid);
+    }
+    ASSIGN_OR_RETURN(ComponentChase chase,
+                     ChaseComponentOrders(*spec_, nodes, &copy_index_));
+    chases_[c] = std::make_unique<ComponentChase>(std::move(chase));
+  }
+  return chases_[c].get();
+}
+
+std::unique_ptr<ComponentChase> DecomposedEncoder::TakeComponentChase(int c) {
+  if (c < 0 || c >= num_components()) return nullptr;
+  return std::move(chases_[c]);
+}
+
+Status DecomposedEncoder::AdoptComponentChase(
+    int c, std::unique_ptr<ComponentChase> chase) {
+  if (c < 0 || c >= num_components()) {
+    return Status::InvalidArgument("component index out of range");
+  }
+  if (!decomposition_.chase_eligible(c)) {
+    return Status::InvalidArgument(
+        "component " + std::to_string(c) + " is not chase-eligible");
+  }
+  if (chases_[c] != nullptr) {
+    return Status::FailedPrecondition(
+        "component " + std::to_string(c) + " already has a chase fixpoint");
+  }
+  chases_[c] = std::move(chase);
+  return Status::OK();
 }
 
 Result<Encoder*> DecomposedEncoder::ComponentEncoder(int c) {
@@ -332,10 +408,22 @@ Result<bool> DecomposedEncoder::SolveAll(const std::vector<int>& skip,
   for (int c : skip) {
     if (c >= 0 && c < num_components()) skipped[c] = 1;
   }
+  // Chase-routed components first: each is a cheap (cached) polynomial
+  // fixpoint, so deciding them before any SAT work makes an UNSAT verdict
+  // from a constraint-free component nearly free and keeps their encoders
+  // unbuilt on the happy path.
+  if (use_chase_routing_) {
+    for (int c = 0; c < num_components(); ++c) {
+      if (skipped[c] || !decomposition_.chase_eligible(c)) continue;
+      ASSIGN_OR_RETURN(const ComponentChase* chase, ComponentChaseFixpoint(c));
+      if (!chase->consistent) return false;
+    }
+  }
   std::vector<std::pair<int64_t, int>> order;
   order.reserve(num_components());
   for (int c = 0; c < num_components(); ++c) {
     if (skipped[c]) continue;
+    if (use_chase_routing_ && decomposition_.chase_eligible(c)) continue;
     int64_t weight = 0;
     for (const EntityNode& node : decomposition_.component(c)) {
       const TemporalInstance& inst = spec_->instance(node.inst);

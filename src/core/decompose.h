@@ -91,14 +91,33 @@ class Decomposition {
   /// values), the initial currency-order pairs among them, the coupling
   /// copy buckets (≥ 2 distinct sources; single-source buckets emit no
   /// clauses and no chase derivations, see the Build comment), and the
-  /// owning instances' denial-constraint texts (groundings are a function
-  /// of those texts and the member values).  Fingerprints are comparable
+  /// texts of exactly the denial constraints with at least one grounding
+  /// on a member group (a grounding set is a function of the constraint
+  /// text and the member values, which are hashed too; zero-grounding
+  /// constraints contribute nothing to any path and are excluded so that
+  /// adding one invalidates nothing).  Fingerprints are comparable
   /// across Decomposition rebuilds over a mutated specification: equal
   /// fingerprints mean identical encoding inputs (modulo 64-bit hash
   /// collisions), which is what lets the serving layer re-use component
-  /// encoders and cached results across Mutate epochs and re-encode
-  /// exactly the components an edit touched.
+  /// encoders, cached results and chase fixpoints across Mutate epochs
+  /// and re-encode exactly the components an edit touched.
   uint64_t fingerprint(int c) const { return fingerprints_[c]; }
+
+  /// True iff no denial constraint has any grounding on any entity group
+  /// of component `c`.  The component's sub-specification is then
+  /// effectively constraint-free, so the copy-order chase decides its
+  /// consistency, certain orders and determinism in PTIME (Theorem 6.1 /
+  /// Lemma 6.2 applied to S|_c) and the SAT encoder need not be built.
+  bool chase_eligible(int c) const { return chase_eligible_[c] != 0; }
+
+  /// True iff `c` is chase-eligible AND consists of a single entity group
+  /// touched by no coupling copy bucket.  Its data attributes are then
+  /// mutually independent, so the component's current-instance fragments
+  /// are the cartesian product of per-attribute certain-sink values —
+  /// enumerable straight off the chase fixpoint.  (Multi-group or
+  /// copy-coupled components correlate attributes across tuples and fall
+  /// back to SAT model enumeration even when chase-eligible.)
+  bool chase_enumerable(int c) const { return chase_enumerable_[c] != 0; }
 
  private:
   int num_instances_ = 0;
@@ -107,6 +126,8 @@ class Decomposition {
   std::vector<std::map<Value, int>> node_component_;
   std::vector<std::vector<int>> instance_components_;
   std::vector<uint64_t> fingerprints_;
+  std::vector<char> chase_eligible_;
+  std::vector<char> chase_enumerable_;
 };
 
 /// One small SAT encoder per coupling component, sharing one specification
@@ -128,11 +149,49 @@ class Decomposition {
 /// exactly one component.
 class DecomposedEncoder {
  public:
+  /// `use_chase_routing` routes chase-eligible components through the
+  /// polynomial copy-order chase instead of SAT: SolveAll answers their
+  /// consistency from ComponentChaseFixpoint and never builds their
+  /// encoders.  Off by default so direct callers keep the pure-SAT
+  /// semantics (ExtractCompletion in particular needs every encoder
+  /// built); the decision procedures and the serving layer opt in via
+  /// their own use_chase_routing options.
   static Result<std::unique_ptr<DecomposedEncoder>> Build(
-      const Specification& spec, const Encoder::Options& options);
+      const Specification& spec, const Encoder::Options& options,
+      bool use_chase_routing = false);
 
   const Decomposition& decomposition() const { return decomposition_; }
   int num_components() const { return decomposition_.num_components(); }
+
+  bool chase_routing() const { return use_chase_routing_; }
+  /// True iff routing is on and component `c` is chase-eligible: callers
+  /// must answer `c` from ComponentChaseFixpoint, not ComponentEncoder.
+  bool chase_routed(int c) const {
+    return use_chase_routing_ && decomposition_.chase_eligible(c);
+  }
+  /// True iff routing is on and `c`'s current-instance fragments may be
+  /// enumerated straight off the chase (Decomposition::chase_enumerable).
+  bool chase_routed_enumerable(int c) const {
+    return use_chase_routing_ && decomposition_.chase_enumerable(c);
+  }
+
+  /// The (cached) chase fixpoint of the chase-eligible component `c`.
+  /// Lazily computed; same thread-confinement contract as
+  /// ComponentEncoder (concurrent calls must target distinct components
+  /// unless the fixpoint is already cached, after which the result is
+  /// read-only).  InvalidArgument for ineligible components.
+  Result<const ComponentChase*> ComponentChaseFixpoint(int c);
+
+  /// Moves component `c`'s cached chase fixpoint out (nullptr when never
+  /// computed); the slot reverts to lazy.  Mirrors TakeComponentEncoder
+  /// for the serving layer's cross-epoch harvest.
+  std::unique_ptr<ComponentChase> TakeComponentChase(int c);
+
+  /// Installs a chase fixpoint previously taken from a component with an
+  /// equal fingerprint (the caller's responsibility, as with
+  /// AdoptComponentEncoder).  Fails when the slot is occupied or the
+  /// component is not chase-eligible.
+  Status AdoptComponentChase(int c, std::unique_ptr<ComponentChase> chase);
 
   /// The (cached) encoder of component `c`.
   Result<Encoder*> ComponentEncoder(int c);
@@ -164,7 +223,10 @@ class DecomposedEncoder {
   /// Solves every component not listed in `skip`, smallest encoding
   /// first, short-circuiting on the first UNSAT component.  Returns true
   /// iff all solved components are satisfiable (each solved encoder then
-  /// holds a model).
+  /// holds a model).  With chase routing on, chase-eligible components
+  /// are decided first from their (cheap, cached) chase fixpoints and
+  /// never reach SAT; a chase-inconsistent component short-circuits the
+  /// whole call.
   ///
   /// When `pool` is given and has more than one thread, components are
   /// solved concurrently (one task per component, claimed smallest-first)
@@ -194,6 +256,10 @@ class DecomposedEncoder {
   /// Per-component filters (stable storage for lazily built encoders).
   std::vector<EntityFilter> filters_;
   std::vector<std::unique_ptr<Encoder>> encoders_;
+  bool use_chase_routing_ = false;
+  /// Lazily computed per-component chase fixpoints (eligible components
+  /// only; same slot confinement as encoders_).
+  std::vector<std::unique_ptr<ComponentChase>> chases_;
 };
 
 }  // namespace currency::core

@@ -69,6 +69,26 @@ Result<bool> DeterministicProbe(const Specification& spec, Encoder* encoder,
   return true;
 }
 
+bool DeterministicViaComponentChase(const Specification& spec,
+                                    const ComponentChase& chase, int inst) {
+  const Relation& rel = spec.instance(inst).relation();
+  for (const ComponentChase::Node& node : chase.nodes) {
+    if (node.inst != inst || node.members.size() <= 1) continue;
+    std::vector<int> all(node.members.size());
+    for (size_t k = 0; k < all.size(); ++k) all[k] = static_cast<int>(k);
+    for (size_t a = 1; a < node.orders.size(); ++a) {
+      std::vector<int> sinks = node.orders[a].SinksWithin(all);
+      for (size_t k = 1; k < sinks.size(); ++k) {
+        if (!(rel.tuple(node.members[sinks[k]]).at(a) ==
+              rel.tuple(node.members[sinks[0]]).at(a))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace internal
 
 namespace {
@@ -109,7 +129,9 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
   Encoder::Options enc = options.encoder;
   enc.define_is_last = true;
   if (options.use_decomposition) {
-    ASSIGN_OR_RETURN(auto decomposed, DecomposedEncoder::Build(spec, enc));
+    ASSIGN_OR_RETURN(auto decomposed,
+                     DecomposedEncoder::Build(spec, enc,
+                                              options.use_chase_routing));
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =
         exec::ResolvePool(options.pool, options.num_threads, local_pool);
@@ -126,6 +148,17 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
     RETURN_IF_ERROR(pool->ParallelFor(
         static_cast<int>(components.size()),
         [&](int k) -> Status {
+          if (decomposed->chase_routed(components[k])) {
+            ASSIGN_OR_RETURN(
+                const ComponentChase* chase,
+                decomposed->ComponentChaseFixpoint(components[k]));
+            if (!internal::DeterministicViaComponentChase(spec, *chase,
+                                                          inst)) {
+              nondeterministic[k] = 1;
+              cancel.Cancel();
+            }
+            return Status::OK();
+          }
           ASSIGN_OR_RETURN(Encoder * encoder,
                            decomposed->ComponentEncoder(components[k]));
           ASSIGN_OR_RETURN(bool deterministic,

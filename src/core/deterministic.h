@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/common/result.h"
+#include "src/core/chase.h"
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
 
@@ -28,6 +29,11 @@ struct DcipOptions {
   /// Split the SAT path along the coupling graph: every entity group's
   /// determinism is probed inside its own component encoder.
   bool use_decomposition = true;
+  /// On the decomposed path, decide chase-eligible components by
+  /// sink-agreement on the component chase fixpoint (Theorem 6.1(3)
+  /// applied to S|_c) instead of SAT probes; SAT remains the fallback for
+  /// constrained components.
+  bool use_chase_routing = true;
   /// Threads for the decomposed path: the consistency pre-solve and the
   /// per-component determinism probes run concurrently (each component's
   /// probe sequence is confined to one task).  1 (the default) runs
@@ -61,6 +67,15 @@ namespace internal {
 /// the group's current instance is not unique.
 Result<bool> DeterministicProbe(const Specification& spec, Encoder* encoder,
                                 int inst);
+
+/// The chase-path determinism check shared by the one-shot DCIP solvers
+/// and the serving layer: for every entity group of `inst` inside the
+/// (chase-eligible) component, all certain sinks of each attribute's
+/// component PO∞ must agree on the attribute value (Theorem 6.1(3)
+/// applied to S|_c).  Groups of other instances or components are simply
+/// absent from `chase` and checked elsewhere.
+bool DeterministicViaComponentChase(const Specification& spec,
+                                    const ComponentChase& chase, int inst);
 
 }  // namespace internal
 

@@ -50,12 +50,10 @@ Result<Relation> BuildPossRelation(
   return poss;
 }
 
-Result<std::set<Tuple>> SpCertainCurrentAnswers(const Specification& spec,
-                                                const query::Query& q) {
-  if (spec.HasDenialConstraints()) {
-    return Status::Unsupported(
-        "Proposition 6.3 applies only without denial constraints");
-  }
+Result<std::set<Tuple>> SpAnswersFromCertainOrders(
+    const Specification& spec,
+    const std::vector<std::vector<PartialOrder>>& certain_orders,
+    const query::Query& q) {
   if (!query::IsSpQuery(q)) {
     return Status::Unsupported("Proposition 6.3 applies only to SP queries");
   }
@@ -64,14 +62,8 @@ Result<std::set<Tuple>> SpCertainCurrentAnswers(const Specification& spec,
     return Status::Unsupported("SP query must reference exactly one relation");
   }
   ASSIGN_OR_RETURN(int inst, spec.InstanceIndex(rels[0]));
-
-  ASSIGN_OR_RETURN(ChaseResult chase, ChaseCopyOrders(spec));
-  if (!chase.consistent) {
-    return Status::Inconsistent(
-        "Mod(S) is empty: every tuple is vacuously a certain answer");
-  }
   ASSIGN_OR_RETURN(Relation poss,
-                   BuildPossRelation(spec, chase.certain_orders, inst));
+                   BuildPossRelation(spec, certain_orders, inst));
   query::Database db{{rels[0], &poss}};
   ASSIGN_OR_RETURN(std::set<Tuple> raw, query::EvalQuery(q, db));
   // Discard tuples carrying fresh constants (Step 4 of the proof).
@@ -87,6 +79,28 @@ Result<std::set<Tuple>> SpCertainCurrentAnswers(const Specification& spec,
     if (!fresh) out.insert(t);
   }
   return out;
+}
+
+Result<std::set<Tuple>> SpCertainCurrentAnswers(const Specification& spec,
+                                                const query::Query& q) {
+  if (spec.HasDenialConstraints()) {
+    return Status::Unsupported(
+        "Proposition 6.3 applies only without denial constraints");
+  }
+  // Validate before chasing so malformed queries fail the same way on
+  // inconsistent specifications.
+  if (!query::IsSpQuery(q)) {
+    return Status::Unsupported("Proposition 6.3 applies only to SP queries");
+  }
+  if (q.body->Relations().size() != 1) {
+    return Status::Unsupported("SP query must reference exactly one relation");
+  }
+  ASSIGN_OR_RETURN(ChaseResult chase, ChaseCopyOrders(spec));
+  if (!chase.consistent) {
+    return Status::Inconsistent(
+        "Mod(S) is empty: every tuple is vacuously a certain answer");
+  }
+  return SpAnswersFromCertainOrders(spec, chase.certain_orders, q);
 }
 
 }  // namespace currency::core

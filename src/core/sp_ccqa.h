@@ -25,6 +25,19 @@ namespace currency::core {
 Result<std::set<Tuple>> SpCertainCurrentAnswers(const Specification& spec,
                                                 const query::Query& q);
 
+/// The Proposition 6.3 pipeline downstream of the chase: builds poss(S)
+/// for the (single) relation `q` references from the given PO∞ and
+/// evaluates `q` on it, discarding fresh-constant tuples.  The caller
+/// supplies `certain_orders` — the whole-spec chase's, or instance orders
+/// assembled from per-component chase fixpoints (chase routing) — and
+/// must already have established Mod(S) ≠ ∅ and that no denial constraint
+/// grounds on the instance's entity groups.  Fails with Unsupported when
+/// `q` is not SP over exactly one relation.
+Result<std::set<Tuple>> SpAnswersFromCertainOrders(
+    const Specification& spec,
+    const std::vector<std::vector<PartialOrder>>& certain_orders,
+    const query::Query& q);
+
 /// Builds poss(S) for instance `inst` from the chase-certain orders (the
 /// c_{e,A} fresh constants are strings with an internal marker prefix).
 /// Exposed for tests and the Proposition 6.3 benchmarks.

@@ -5,7 +5,9 @@
 #include <map>
 #include <utility>
 
+#include "src/core/chase.h"
 #include "src/core/deterministic.h"
+#include "src/query/classify.h"
 #include "src/sat/solver.h"
 
 namespace currency::serve {
@@ -19,13 +21,14 @@ namespace {
 /// once per coupling component over that component's request list (in
 /// parallel on the session pool), then flips the answer of every item a
 /// probe reported — "hit" means refuted for COP, non-deterministic for
-/// DCIP.  Per-task hit slots keep the aggregation race-free, and each
-/// component's request list is processed in batch order by exactly one
-/// task, so every solver's call sequence is reproducible for every
-/// thread count.
+/// DCIP.  The probe receives the component id so it can choose the chase
+/// fixpoint or the SAT encoder per component.  Per-task hit slots keep
+/// the aggregation race-free, and each component's request list is
+/// processed in batch order by exactly one task, so every solver's call
+/// sequence is reproducible for every thread count.
 template <typename Request, typename Probe>
 Status FlipItemsPerComponent(
-    DecomposedEncoder* decomposed, exec::ThreadPool* pool,
+    exec::ThreadPool* pool,
     const std::map<int, std::vector<Request>>& by_component,
     const Probe& probe, std::vector<bool>* out) {
   std::vector<std::pair<int, const std::vector<Request>*>> groups;
@@ -36,9 +39,7 @@ Status FlipItemsPerComponent(
   std::vector<std::vector<int>> hits(groups.size());
   RETURN_IF_ERROR(pool->ParallelFor(
       static_cast<int>(groups.size()), [&](int k) -> Status {
-        ASSIGN_OR_RETURN(Encoder * encoder,
-                         decomposed->ComponentEncoder(groups[k].first));
-        return probe(encoder, *groups[k].second, &hits[k]);
+        return probe(groups[k].first, *groups[k].second, &hits[k]);
       }));
   for (const std::vector<int>& items : hits) {
     for (int item : items) (*out)[item] = false;
@@ -75,7 +76,9 @@ Result<std::unique_ptr<CurrencySession>> CurrencySession::Create(
 }
 
 Status CurrencySession::BuildEpoch() {
-  ASSIGN_OR_RETURN(decomposed_, DecomposedEncoder::Build(spec_, enc_));
+  ASSIGN_OR_RETURN(decomposed_,
+                   DecomposedEncoder::Build(spec_, enc_,
+                                            options_.use_chase_routing));
   sat_.assign(decomposed_->num_components(), std::nullopt);
   return Status::OK();
 }
@@ -97,12 +100,25 @@ Result<bool> CurrencySession::EnsureAllSolved() {
   // and a later batch re-solves them through this same path.
   std::vector<std::optional<bool>> outcome(todo.size());
   std::atomic<int64_t> solves{0};
+  std::atomic<int64_t> chased{0};
   exec::CancellationToken cancel;
   RETURN_IF_ERROR(pool_.ParallelFor(
       static_cast<int>(todo.size()),
       [&](int k) -> Status {
-        ASSIGN_OR_RETURN(Encoder * encoder,
-                         decomposed_->ComponentEncoder(todo[k]));
+        int c = todo[k];
+        if (decomposed_->chase_routed(c)) {
+          // Chase-eligible component: consistency is the fixpoint's
+          // consistency bit (Theorem 6.1(1) on S|_c); no encoder is
+          // built.  Each component's fixpoint slot is touched by exactly
+          // this task, matching the encoder-slot confinement.
+          ASSIGN_OR_RETURN(const core::ComponentChase* chase,
+                           decomposed_->ComponentChaseFixpoint(c));
+          chased.fetch_add(1, std::memory_order_relaxed);
+          outcome[k] = chase->consistent;
+          if (!chase->consistent) cancel.Cancel();
+          return Status::OK();
+        }
+        ASSIGN_OR_RETURN(Encoder * encoder, decomposed_->ComponentEncoder(c));
         bool sat = encoder->solver().Solve() == sat::SolveResult::kSat;
         solves.fetch_add(1, std::memory_order_relaxed);
         outcome[k] = sat;
@@ -111,6 +127,7 @@ Result<bool> CurrencySession::EnsureAllSolved() {
       },
       &cancel));
   stats_.base_solves += solves.load(std::memory_order_relaxed);
+  stats_.chase_solves += chased.load(std::memory_order_relaxed);
   bool consistent = true;
   for (size_t k = 0; k < todo.size(); ++k) {
     if (outcome[k].has_value()) {
@@ -187,9 +204,28 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
   // components are deliberately not consulted — cross-task peeking would
   // make each solver's call sequence depend on timing.
   RETURN_IF_ERROR(FlipItemsPerComponent(
-      decomposed_.get(), &pool_, by_component,
-      [&](Encoder* encoder, const std::vector<Probe>& probes,
+      &pool_, by_component,
+      [&](int c, const std::vector<Probe>& probes,
           std::vector<int>* refuted) -> Status {
+        if (decomposed_->chase_routed(c)) {
+          // Lemma 6.2 on S|_c: the pair is certain iff it is in the
+          // component's PO∞ (the fixpoint is cached — EnsureAllSolved
+          // computed or adopted it).  No solver state, so no need to
+          // dedupe repeated items.
+          ASSIGN_OR_RETURN(const core::ComponentChase* chase,
+                           decomposed_->ComponentChaseFixpoint(c));
+          for (const Probe& probe : probes) {
+            const Relation& rel = spec_.instance(inst_of[probe.item]).relation();
+            if (!chase->CertainLess(inst_of[probe.item],
+                                    rel.tuple(probe.pair->before).eid(),
+                                    probe.pair->attr, probe.pair->before,
+                                    probe.pair->after)) {
+              refuted->push_back(probe.item);
+            }
+          }
+          return Status::OK();
+        }
+        ASSIGN_OR_RETURN(Encoder * encoder, decomposed_->ComponentEncoder(c));
         std::set<int> local_refuted;
         for (const Probe& probe : probes) {
           if (local_refuted.count(probe.item)) continue;
@@ -233,9 +269,24 @@ Result<std::vector<bool>> CurrencySession::DcipBatch(
     }
   }
   RETURN_IF_ERROR(FlipItemsPerComponent(
-      decomposed_.get(), &pool_, by_component,
-      [&](Encoder* encoder, const std::vector<Request>& requests,
+      &pool_, by_component,
+      [&](int c, const std::vector<Request>& requests,
           std::vector<int>* nondeterministic) -> Status {
+        if (decomposed_->chase_routed(c)) {
+          // Theorem 6.1(3) on S|_c: deterministic iff the certain sinks
+          // of every group/attribute agree on the value.  Pure reads on
+          // the cached fixpoint — no model to re-establish.
+          ASSIGN_OR_RETURN(const core::ComponentChase* chase,
+                           decomposed_->ComponentChaseFixpoint(c));
+          for (const Request& req : requests) {
+            if (!core::internal::DeterministicViaComponentChase(spec_, *chase,
+                                                                req.inst)) {
+              nondeterministic->push_back(req.item);
+            }
+          }
+          return Status::OK();
+        }
+        ASSIGN_OR_RETURN(Encoder * encoder, decomposed_->ComponentEncoder(c));
         for (const Request& req : requests) {
           // Re-establish a model: earlier COP probes, earlier requests in
           // this loop, or a previous batch staled it.  The component is
@@ -281,15 +332,55 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
   }
   core::CcqaOptions ccqa;
   ccqa.max_current_instances = options_.max_current_instances;
+  // SP routing: a request answers from component chase fixpoints when its
+  // query is SP over one relation and every component that relation
+  // touches is chase-eligible.  Decide that per request up front and warm
+  // the needed fixpoints sequentially — the parallel tasks below then
+  // only read the cache, so no two tasks race on a fixpoint slot.
+  std::vector<char> sp_route(requests.size(), 0);
+  if (decomposed_->chase_routing()) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const query::Query& q = requests[i].query;
+      if (!query::IsSpQuery(q) || q.body->Relations().size() != 1) continue;
+      std::vector<int> relevant =
+          decomposed_->decomposition().ComponentsOfInstances(instances[i]);
+      bool eligible = true;
+      for (int c : relevant) {
+        if (!decomposed_->decomposition().chase_eligible(c)) {
+          eligible = false;
+          break;
+        }
+      }
+      if (!eligible) continue;
+      sp_route[i] = 1;
+      for (int c : relevant) {
+        RETURN_IF_ERROR(decomposed_->ComponentChaseFixpoint(c).status());
+      }
+    }
+  }
   // Each request works entirely on fresh merged encoders (the blocking
   // loops add permanent clauses, so cached component encoders are off
   // limits), which makes requests independent: they run in parallel on
-  // the session pool and fill only their own response slot.
+  // the session pool and fill only their own response slot.  SP-routed
+  // requests instead assemble their instance's PO∞ from the warmed
+  // fixpoints — read-only, so they parallelize the same way.
   std::atomic<int64_t> merged{0};
   RETURN_IF_ERROR(pool_.ParallelFor(
       static_cast<int>(requests.size()), [&](int i) -> Status {
         std::vector<int> relevant =
             decomposed_->decomposition().ComponentsOfInstances(instances[i]);
+        if (sp_route[i]) {
+          ASSIGN_OR_RETURN(std::set<Tuple> answers,
+                           core::internal::SpAnswersViaComponentChases(
+                               decomposed_.get(), spec_, requests[i].query,
+                               relevant));
+          if (requests[i].candidate.has_value()) {
+            out[i].is_certain = answers.count(*requests[i].candidate) > 0;
+          } else {
+            out[i].answers = std::move(answers);
+          }
+          return Status::OK();
+        }
         auto make_encoder = [&]() -> Result<std::unique_ptr<Encoder>> {
           merged.fetch_add(1, std::memory_order_relaxed);
           return decomposed_->BuildMergedEncoder(relevant);
@@ -328,28 +419,43 @@ Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {
   // a first-wins map is the pragmatic resolution.
   struct Harvested {
     std::unique_ptr<Encoder> encoder;
+    std::unique_ptr<core::ComponentChase> chase;
     std::optional<bool> sat;
   };
   std::map<uint64_t, Harvested> cache;
   for (int c = 0; c < decomposed_->num_components(); ++c) {
-    Harvested h{decomposed_->TakeComponentEncoder(c), sat_[c]};
-    if (h.encoder != nullptr || h.sat.has_value()) {
+    Harvested h{decomposed_->TakeComponentEncoder(c),
+                decomposed_->TakeComponentChase(c), sat_[c]};
+    if (h.encoder != nullptr || h.chase != nullptr || h.sat.has_value()) {
       cache.emplace(decomposed_->component_fingerprint(c), std::move(h));
     }
   }
   // Rebuild the coupling graph over the edited specification, then adopt
   // every component whose content fingerprint is unchanged: its encoder
-  // (clauses, learnt clauses, variable layout) and base-solve result are
-  // still exactly what a fresh build would produce and solve.
+  // (clauses, learnt clauses, variable layout), chase fixpoint, and
+  // base-solve result are still exactly what a fresh build would produce
+  // and solve.  The fingerprint covers member tuples, coupling copy
+  // buckets, AND the texts of the denial constraints with at least one
+  // grounding on the component, so a fingerprint match also preserves
+  // chase eligibility.
   RETURN_IF_ERROR(BuildEpoch());
   int n = decomposed_->num_components();
   int64_t reused = 0;
+  int64_t chase_reused = 0;
+  int64_t eligible = 0;
   for (int c = 0; c < n; ++c) {
+    if (decomposed_->decomposition().chase_eligible(c)) ++eligible;
     auto it = cache.find(decomposed_->component_fingerprint(c));
     if (it == cache.end()) continue;
     if (it->second.encoder != nullptr) {
       RETURN_IF_ERROR(decomposed_->AdoptComponentEncoder(
           c, std::move(it->second.encoder)));
+    }
+    if (it->second.chase != nullptr &&
+        decomposed_->decomposition().chase_eligible(c)) {
+      RETURN_IF_ERROR(decomposed_->AdoptComponentChase(
+          c, std::move(it->second.chase)));
+      ++chase_reused;
     }
     sat_[c] = it->second.sat;
     ++reused;
@@ -357,6 +463,9 @@ Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {
   }
   stats_.last_reused = reused;
   stats_.last_invalidated = n - reused;
+  stats_.last_chase_reused = chase_reused;
+  stats_.last_chase_rechased =
+      decomposed_->chase_routing() ? eligible - chase_reused : 0;
   return Status::OK();
 }
 

@@ -68,6 +68,15 @@ struct SessionOptions {
   int num_threads = 1;
   /// Budget forwarded to CCQA's enumeration/blocking loops.
   int64_t max_current_instances = 1'000'000;
+  /// Serve chase-eligible components (no denial constraint grounds on any
+  /// of their entity groups) from the polynomial chase fixpoint instead of
+  /// a SAT encoder: consistency reads the fixpoint, COP pairs check
+  /// PO∞-membership, DCIP checks sink agreement, and SP-query CCQA
+  /// requests whose components are all eligible answer via Proposition
+  /// 6.3.  Cached fixpoints survive Mutate exactly like encoders do (same
+  /// fingerprint keying).  SAT remains the fallback for constrained
+  /// components; answers are identical either way.
+  bool use_chase_routing = true;
   /// Base encoder options.  define_is_last is forced on (one cached
   /// encoding serves CPS, COP, DCIP and CCQA); restrict_to / copy_index /
   /// chase_seed are session-managed and ignored.
@@ -82,12 +91,23 @@ struct SessionStats {
   int64_t base_solves = 0;
   /// Fresh merged encoders built for CCQA requests.
   int64_t merged_builds = 0;
+  /// Component chase fixpoints computed by consistency checks (cache
+  /// misses; chase-routed sessions only).
+  int64_t chase_solves = 0;
   /// Components of the current epoch that re-used a previous epoch's
   /// encoder or result after the most recent Mutate (not monotonic).
   int64_t last_reused = 0;
   /// Components of the current epoch that the most recent Mutate
   /// invalidated — i.e. must rebuild and re-solve (not monotonic).
   int64_t last_invalidated = 0;
+  /// Chase-eligible components of the current epoch that re-adopted a
+  /// previous epoch's chase fixpoint after the most recent Mutate (not
+  /// monotonic; 0 when chase routing is off).
+  int64_t last_chase_reused = 0;
+  /// Chase-eligible components of the current epoch that could not adopt
+  /// a cached fixpoint after the most recent Mutate and re-chase on next
+  /// use (not monotonic; 0 when chase routing is off).
+  int64_t last_chase_rechased = 0;
 };
 
 /// One CCQA batch item: a full answer-set request (no candidate) or a

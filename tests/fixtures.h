@@ -288,8 +288,19 @@ inline query::Query MakeQ4() {
 /// initial orders, a random subset of a constraint pool, and (optionally)
 /// a copy function R2[C] ⇐ R[A] whose copying condition holds by
 /// construction.  Sized so the brute-force oracle stays fast.
-inline core::Specification MakeRandomSpec(unsigned seed, bool with_copy,
-                                          bool with_constraints) {
+///
+/// `constraint_free_fraction` controls chase-routing coverage: each
+/// entity group is declared constraint-free with that probability, and
+/// every selected pool constraint is then emitted once per REMAINING
+/// group, gated on that group's entity (`s.EID = 'e<g>' AND ...`), so
+/// the constraint grounds only inside constrained groups.  0 (the
+/// default) keeps the historical ungated constraints — and the exact
+/// historical RNG stream, so existing seeds reproduce byte-identical
+/// specifications.  1 makes every group constraint-free while still
+/// exercising the zero-grounding constraint texts.
+inline core::Specification MakeRandomSpec(
+    unsigned seed, bool with_copy, bool with_constraints,
+    double constraint_free_fraction = 0.0) {
   std::mt19937 rng(seed);
   auto coin = [&](int denom) {
     return std::uniform_int_distribution<int>(0, denom - 1)(rng) == 0;
@@ -330,6 +341,16 @@ inline core::Specification MakeRandomSpec(unsigned seed, bool with_copy,
   (void)st;
 
   if (with_constraints) {
+    // Decide per group whether it stays constraint-free (chase-eligible).
+    // The draws happen only when the knob is on, so fraction == 0 leaves
+    // the historical RNG stream untouched.
+    std::vector<bool> constrained(groups, true);
+    if (constraint_free_fraction > 0.0) {
+      std::uniform_real_distribution<double> u01(0.0, 1.0);
+      for (int g = 0; g < groups; ++g) {
+        constrained[g] = u01(rng) >= constraint_free_fraction;
+      }
+    }
     const char* pool[] = {
         "FORALL s, t IN R: s.A > t.A -> t PREC[A] s",
         "FORALL s, t IN R: t PREC[A] s -> t PREC[B] s",
@@ -339,8 +360,35 @@ inline core::Specification MakeRandomSpec(unsigned seed, bool with_copy,
     };
     for (const char* text : pool) {
       if (coin(3)) {
-        auto cst = spec.AddConstraintText(text);
-        (void)cst;
+        if (constraint_free_fraction <= 0.0) {
+          auto cst = spec.AddConstraintText(text);
+          (void)cst;
+          continue;
+        }
+        // Gate the constraint on each constrained group's entity so it
+        // cannot ground inside the constraint-free groups.  When every
+        // group is free, gate on a nonexistent entity instead: the spec
+        // still carries a denial constraint (the whole-spec PTIME paths
+        // stay off) but it grounds nowhere, so every component remains
+        // chase-eligible.
+        std::string body(text);
+        size_t colon = body.find(": ");
+        bool any = false;
+        for (int g = 0; g < groups; ++g) {
+          if (!constrained[g]) continue;
+          std::string gated = body;
+          gated.insert(colon + 2,
+                       "s.EID = 'e" + std::to_string(g) + "' AND ");
+          auto cst = spec.AddConstraintText(gated);
+          (void)cst;
+          any = true;
+        }
+        if (!any) {
+          std::string gated = body;
+          gated.insert(colon + 2, "s.EID = 'none' AND ");
+          auto cst = spec.AddConstraintText(gated);
+          (void)cst;
+        }
       }
     }
   }

@@ -58,9 +58,15 @@ std::string CanonicalDb(const query::Database& db) {
 class ParallelEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelEquivalence, AllSolversAgreeForEveryThreadCount) {
-  for (int variant = 0; variant < 4; ++variant) {
-    Specification spec =
-        MakeRandomSpec(GetParam() * 911 + variant, variant & 1, variant & 2);
+  // Variants 0–3: the historical copy × constraints grid.  Variants 4–5
+  // add entity-gated constraints with a 0.5 constraint-free fraction, so
+  // the decomposed paths mix chase-routed and SAT-routed components.
+  for (int variant = 0; variant < 6; ++variant) {
+    bool with_copy = variant & 1;
+    bool with_constraints = (variant & 2) || variant >= 4;
+    double free_fraction = variant >= 4 ? 0.5 : 0.0;
+    Specification spec = MakeRandomSpec(GetParam() * 911 + variant, with_copy,
+                                        with_constraints, free_fraction);
     SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
                  " variant=" + std::to_string(variant));
 

@@ -205,9 +205,16 @@ std::vector<core::TupleEdit> MakeRandomEdits(const core::Specification& spec,
 class SessionEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(SessionEquivalence, BatchesMatchFreshSolvesAcrossMutations) {
-  for (int variant = 0; variant < 4; ++variant) {
+  // Variants 0–3: the historical copy × constraints grid.  Variants 4–5
+  // add entity-gated constraints with a 0.5 constraint-free fraction, so
+  // sessions mix chase-routed and SAT-routed components.
+  for (int variant = 0; variant < 6; ++variant) {
+    bool with_copy = variant & 1;
+    bool with_constraints = (variant & 2) || variant >= 4;
+    double free_fraction = variant >= 4 ? 0.5 : 0.0;
     core::Specification spec =
-        MakeRandomSpec(GetParam() * 1237 + variant, variant & 1, variant & 2);
+        MakeRandomSpec(GetParam() * 1237 + variant, with_copy,
+                       with_constraints, free_fraction);
     for (int threads : kThreadCounts) {
       SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
                    " variant=" + std::to_string(variant) +
