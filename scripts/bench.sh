@@ -20,6 +20,15 @@
 #    incremental-chase reuse counters, and enforces the >= 3x warm-query
 #    speedup floor.
 #
+#  * BENCH_mt.json — concurrent serving: reader COP batches serialized,
+#    with concurrent readers, and with concurrent readers against a live
+#    mutator on one snapshot-isolated session.  bench_concurrent_serve
+#    self-checks every concurrent answer against the one-shot solver.
+#    The JSON carries an explicit 1-CPU-container caveat: with a single
+#    core the concurrent phases measure snapshot/scheduling overhead
+#    (parity with the serialized baseline is the win), so no speedup
+#    floor is enforced.
+#
 #  * BENCH_sat.json — single-threaded SAT-core throughput on the
 #    1024-entity chained-component CPS/COP workload: propagations/sec,
 #    conflicts/sec, per-phase wall clock, and arena bytes for the
@@ -46,7 +55,8 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S .
 fi
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_serve bench_chase_routing bench_sat_core
+  --target bench_serve bench_chase_routing bench_concurrent_serve \
+           bench_sat_core
 
 "$build_dir/bench/bench_serve" \
   --entities=1024 --queries=16 --iters=5 \
@@ -58,10 +68,14 @@ cmake --build "$build_dir" -j "$(nproc)" \
   --require-speedup=3 \
   --out="$repo_root/BENCH_chase.json"
 
+"$build_dir/bench/bench_concurrent_serve" \
+  --entities=256 --queries=16 --iters=5 --readers=4 \
+  --out="$repo_root/BENCH_mt.json"
+
 "$build_dir/bench/bench_sat_core" \
   --entities=1024 --probes=2048 \
   --require-speedup=1.3 \
   --out="$repo_root/BENCH_sat.json"
 
-echo "bench: wrote $repo_root/BENCH_serve.json, $repo_root/BENCH_chase.json" \
-  "and $repo_root/BENCH_sat.json"
+echo "bench: wrote $repo_root/BENCH_serve.json, $repo_root/BENCH_chase.json," \
+  "$repo_root/BENCH_mt.json and $repo_root/BENCH_sat.json"

@@ -13,6 +13,8 @@
 # that matter — exec_test (thread-pool semantics),
 # parallel_equivalence_test (CPS/COP/DCIP/CCQA across thread counts),
 # session_equivalence_test (the serving layer's shared-pool batches),
+# concurrent_session_test (reader batches racing a mutator across epoch
+# snapshots, multi-region pool sharing, SessionManager admission),
 # chase_routing_equivalence_test (chase-routed vs forced-SAT answers,
 # including the per-component fixpoint slots confined to pool tasks),
 # and sat_metamorphic_test (arena compaction inside pooled session
@@ -47,12 +49,13 @@ cmake -B "$tsan_dir" -S . \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j "$(nproc)" \
   --target exec_test parallel_equivalence_test serve_test \
-           session_equivalence_test chase_routing_equivalence_test \
-           sat_metamorphic_test
+           session_equivalence_test concurrent_session_test \
+           chase_routing_equivalence_test sat_metamorphic_test
 "$tsan_dir/tests/exec_test"
 "$tsan_dir/tests/parallel_equivalence_test"
 "$tsan_dir/tests/serve_test"
 "$tsan_dir/tests/session_equivalence_test"
+"$tsan_dir/tests/concurrent_session_test"
 "$tsan_dir/tests/chase_routing_equivalence_test"
 "$tsan_dir/tests/sat_metamorphic_test"
 
@@ -64,9 +67,11 @@ cmake -B "$asan_dir" -S . \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$asan_dir" -j "$(nproc)" \
   --target exec_test serve_test session_equivalence_test \
-           chase_routing_equivalence_test sat_metamorphic_test
+           concurrent_session_test chase_routing_equivalence_test \
+           sat_metamorphic_test
 "$asan_dir/tests/exec_test"
 "$asan_dir/tests/serve_test"
 "$asan_dir/tests/session_equivalence_test"
+"$asan_dir/tests/concurrent_session_test"
 "$asan_dir/tests/chase_routing_equivalence_test"
 "$asan_dir/tests/sat_metamorphic_test"

@@ -143,6 +143,15 @@ Result<std::set<Tuple>> CertainAnswersVia(
 Result<std::set<Tuple>> SpAnswersViaComponentChases(
     DecomposedEncoder* decomposed, const Specification& spec,
     const query::Query& q, const std::vector<int>& relevant) {
+  return SpAnswersViaComponentChases(
+      [decomposed](int c) { return decomposed->ComponentChaseFixpoint(c); },
+      spec, q, relevant);
+}
+
+Result<std::set<Tuple>> SpAnswersViaComponentChases(
+    const std::function<Result<const ComponentChase*>(int)>& chase_for,
+    const Specification& spec, const query::Query& q,
+    const std::vector<int>& relevant) {
   std::vector<std::string> rels = q.body->Relations();
   if (rels.size() != 1) {
     return Status::Unsupported("SP query must reference exactly one relation");
@@ -157,8 +166,7 @@ Result<std::set<Tuple>> SpAnswersViaComponentChases(
   orders[inst].assign(instance.schema().arity(),
                       PartialOrder(instance.relation().size()));
   for (int c : relevant) {
-    ASSIGN_OR_RETURN(const ComponentChase* chase,
-                     decomposed->ComponentChaseFixpoint(c));
+    ASSIGN_OR_RETURN(const ComponentChase* chase, chase_for(c));
     RETURN_IF_ERROR(MergeComponentOrdersInto(*chase, inst, &orders[inst]));
   }
   return SpAnswersFromCertainOrders(spec, orders, q);

@@ -34,6 +34,7 @@ class ThreadPool;
 namespace currency::core {
 
 class DecomposedEncoder;
+struct ComponentChase;
 
 /// Options for the CCQA solvers.
 struct CcqaOptions {
@@ -136,6 +137,15 @@ Result<std::set<Tuple>> CertainAnswersVia(
 Result<std::set<Tuple>> SpAnswersViaComponentChases(
     DecomposedEncoder* decomposed, const Specification& spec,
     const query::Query& q, const std::vector<int>& relevant);
+
+/// As above, but with a caller-supplied fixpoint lookup instead of a
+/// DecomposedEncoder — for callers whose fixpoints live elsewhere (the
+/// serving layer's epochs cache them in per-component slots).  `chase_for`
+/// must return the fixpoint of the given (chase-eligible) component.
+Result<std::set<Tuple>> SpAnswersViaComponentChases(
+    const std::function<Result<const ComponentChase*>(int)>& chase_for,
+    const Specification& spec, const query::Query& q,
+    const std::vector<int>& relevant);
 
 }  // namespace internal
 

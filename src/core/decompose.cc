@@ -319,15 +319,25 @@ Result<const ComponentChase*> DecomposedEncoder::ComponentChaseFixpoint(
         "component " + std::to_string(c) + " is not chase-eligible");
   }
   if (chases_[c] == nullptr) {
-    std::vector<std::pair<int, Value>> nodes;
-    for (const EntityNode& node : decomposition_.component(c)) {
-      nodes.emplace_back(node.inst, node.eid);
-    }
-    ASSIGN_OR_RETURN(ComponentChase chase,
-                     ChaseComponentOrders(*spec_, nodes, &copy_index_));
+    ASSIGN_OR_RETURN(ComponentChase chase, BuildComponentChase(c));
     chases_[c] = std::make_unique<ComponentChase>(std::move(chase));
   }
   return chases_[c].get();
+}
+
+Result<ComponentChase> DecomposedEncoder::BuildComponentChase(int c) const {
+  if (c < 0 || c >= num_components()) {
+    return Status::InvalidArgument("component index out of range");
+  }
+  if (!decomposition_.chase_eligible(c)) {
+    return Status::InvalidArgument(
+        "component " + std::to_string(c) + " is not chase-eligible");
+  }
+  std::vector<std::pair<int, Value>> nodes;
+  for (const EntityNode& node : decomposition_.component(c)) {
+    nodes.emplace_back(node.inst, node.eid);
+  }
+  return ChaseComponentOrders(*spec_, nodes, &copy_index_);
 }
 
 std::unique_ptr<ComponentChase> DecomposedEncoder::TakeComponentChase(int c) {
@@ -357,13 +367,21 @@ Result<Encoder*> DecomposedEncoder::ComponentEncoder(int c) {
     return Status::InvalidArgument("component index out of range");
   }
   if (encoders_[c] == nullptr) {
-    Encoder::Options options = options_;
-    options.restrict_to = &filters_[c];
-    options.copy_index = &copy_index_;
-    if (chase_seed_.has_value()) options.chase_seed = &*chase_seed_;
-    ASSIGN_OR_RETURN(encoders_[c], Encoder::Build(*spec_, options));
+    ASSIGN_OR_RETURN(encoders_[c], BuildComponentEncoder(c));
   }
   return encoders_[c].get();
+}
+
+Result<std::unique_ptr<Encoder>> DecomposedEncoder::BuildComponentEncoder(
+    int c) const {
+  if (c < 0 || c >= num_components()) {
+    return Status::InvalidArgument("component index out of range");
+  }
+  Encoder::Options options = options_;
+  options.restrict_to = &filters_[c];
+  options.copy_index = &copy_index_;
+  if (chase_seed_.has_value()) options.chase_seed = &*chase_seed_;
+  return Encoder::Build(*spec_, options);
 }
 
 std::unique_ptr<Encoder> DecomposedEncoder::TakeComponentEncoder(int c) {

@@ -182,6 +182,15 @@ class DecomposedEncoder {
   /// read-only).  InvalidArgument for ineligible components.
   Result<const ComponentChase*> ComponentChaseFixpoint(int c);
 
+  /// Computes component `c`'s chase fixpoint WITHOUT touching the lazy
+  /// cache slot: reads only the post-Build read-only state (spec,
+  /// decomposition, copy index), so it is safe to call concurrently from
+  /// any number of threads — even for the same component.  The serving
+  /// layer's epoch snapshots (serve/epoch.h) manage their own slots under
+  /// per-component locks and use this const builder to fill them.
+  /// InvalidArgument for ineligible components.
+  Result<ComponentChase> BuildComponentChase(int c) const;
+
   /// Moves component `c`'s cached chase fixpoint out (nullptr when never
   /// computed); the slot reverts to lazy.  Mirrors TakeComponentEncoder
   /// for the serving layer's cross-epoch harvest.
@@ -195,6 +204,13 @@ class DecomposedEncoder {
 
   /// The (cached) encoder of component `c`.
   Result<Encoder*> ComponentEncoder(int c);
+
+  /// Builds a fresh encoder for exactly component `c` WITHOUT touching the
+  /// lazy cache slot (the caller owns it).  Like BuildComponentChase this
+  /// reads only post-Build read-only state, so concurrent calls are safe
+  /// for any component mix; the epoch layer uses it to fill its own
+  /// per-component slots.
+  Result<std::unique_ptr<Encoder>> BuildComponentEncoder(int c) const;
 
   /// A fresh encoder covering exactly the union of `components` (callers
   /// own it; it is not cached).  Used by CCQA's certain-membership loop,

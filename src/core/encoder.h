@@ -152,6 +152,15 @@ class Encoder {
   /// Number of order variables (for the benchmarks).
   int num_order_vars() const { return num_order_vars_; }
 
+  /// Repoints the encoder at `spec`, which must have the same shape as the
+  /// specification it was built from: same instances, schemas, tuple ids,
+  /// and entity groups (value edits only).  The retained specification is
+  /// read only by DecodeCurrentInstances/ExtractCompletion, and those
+  /// consult shape, not values — so an encoder harvested across epochs
+  /// (serve/epoch.h) stays valid after rebinding to the new epoch's
+  /// deep-copied specification.
+  void RebindSpec(const Specification& spec) { spec_ = &spec; }
+
  private:
   Encoder() = default;
 

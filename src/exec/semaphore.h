@@ -1,0 +1,138 @@
+// Admission-control primitives for shared-pool serving: a counting
+// semaphore and a bounded-queue admission gate.
+//
+// The thread pool (thread_pool.h) makes *execution* fair — workers rotate
+// round-robin across concurrently open regions — but fairness at the
+// execution layer cannot bound how much work a caller may *submit*.  The
+// serving layer's SessionManager therefore gates every tenant batch
+// through an AdmissionGate: at most `max_active` batches of one tenant
+// run at a time, at most `max_waiting` block waiting for a slot, and
+// anything beyond that is rejected immediately with ResourceExhausted —
+// over-quota submission is turned away, never deadlocked.  (This is the
+// classic maxConnections / connection-quota pattern of networked
+// databases: a hard per-client cap with a small accept queue in front of
+// a shared worker pool.)
+
+#ifndef CURRENCY_SRC_EXEC_SEMAPHORE_H_
+#define CURRENCY_SRC_EXEC_SEMAPHORE_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/result.h"
+
+namespace currency::exec {
+
+/// A plain counting semaphore (C++20's counting_semaphore carries a
+/// compile-time ceiling and no TryAcquire-with-queue semantics, so the
+/// serving layer uses this mutex-based one; contention here is per batch,
+/// not per task, so the mutex cost is irrelevant).
+class Semaphore {
+ public:
+  explicit Semaphore(int count) : count_(count < 0 ? 0 : count) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Blocks until a permit is available, then takes it.
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  /// Takes a permit iff one is available right now.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ <= 0) return false;
+    --count_;
+    return true;
+  }
+
+  /// Returns a permit, waking one waiter.
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+  int available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// Bounded admission: at most `max_active` concurrent holders, at most
+/// `max_waiting` callers blocked waiting for a slot; any caller beyond
+/// both bounds is rejected immediately.  Enter/Leave bracket one admitted
+/// unit of work (one tenant batch in the serving layer).
+class AdmissionGate {
+ public:
+  /// Both bounds are clamped to >= 0; max_active == 0 rejects everything
+  /// (a drained tenant).
+  AdmissionGate(int max_active, int max_waiting)
+      : max_active_(max_active < 0 ? 0 : max_active),
+        max_waiting_(max_waiting < 0 ? 0 : max_waiting) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Admits the caller, blocking in the bounded queue when all active
+  /// slots are taken.  Returns ResourceExhausted — without blocking —
+  /// when the queue is full too (or max_active == 0).  Every OK return
+  /// must be paired with exactly one Leave().
+  Status Enter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (active_ < max_active_) {
+      ++active_;
+      return Status::OK();
+    }
+    if (max_active_ == 0 || waiting_ >= max_waiting_) {
+      return Status::ResourceExhausted(
+          "admission rejected: " + std::to_string(active_) + " active and " +
+          std::to_string(waiting_) + " queued batches at the quota");
+    }
+    ++waiting_;
+    cv_.wait(lock, [&] { return active_ < max_active_; });
+    --waiting_;
+    ++active_;
+    return Status::OK();
+  }
+
+  /// Releases an admitted slot, waking one queued waiter.
+  void Leave() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    cv_.notify_one();
+  }
+
+  int active() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_;
+  }
+  int waiting() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return waiting_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const int max_active_;
+  const int max_waiting_;
+  int active_ = 0;
+  int waiting_ = 0;
+};
+
+}  // namespace currency::exec
+
+#endif  // CURRENCY_SRC_EXEC_SEMAPHORE_H_

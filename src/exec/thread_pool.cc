@@ -21,36 +21,57 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::RunBatch(Batch* batch) {
-  for (;;) {
-    if (batch->cancel != nullptr && batch->cancel->cancelled()) return;
-    if (batch->failed.load(std::memory_order_relaxed)) return;
-    int task = batch->next.fetch_add(1, std::memory_order_relaxed);
-    if (task >= batch->num_tasks) return;
-    Status status = (*batch->body)(task);
-    if (!status.ok()) {
-      // Each slot is written by the one thread that claimed the task; the
-      // join's mutex publishes it to the caller.
-      batch->statuses[task] = std::move(status);
-      batch->failed.store(true, std::memory_order_relaxed);
-    }
+bool ThreadPool::RunOneTask(Batch* batch) {
+  if (batch->cancel != nullptr && batch->cancel->cancelled()) return false;
+  if (batch->failed.load(std::memory_order_relaxed)) return false;
+  int task = batch->next.fetch_add(1, std::memory_order_relaxed);
+  if (task >= batch->num_tasks) return false;
+  Status status = (*batch->body)(task);
+  if (!status.ok()) {
+    // Each slot is written by the one thread that claimed the task; the
+    // join's mutex publishes it to the caller.
+    batch->statuses[task] = std::move(status);
+    batch->failed.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ThreadPool::DrainBatch(Batch* batch) {
+  while (RunOneTask(batch)) {
   }
 }
 
 void ThreadPool::WorkerLoop() {
-  std::uint64_t last_generation = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [&] {
-      return shutdown_ ||
-             (current_ != nullptr && generation_ != last_generation);
+      if (shutdown_) return true;
+      for (Batch* batch : batches_) {
+        if (batch->HasWork()) return true;
+      }
+      return false;
     });
     if (shutdown_) return;
-    Batch* batch = current_;
-    last_generation = generation_;
+    // Fair pick: rotate the cursor across the open regions so one
+    // region's long task list cannot monopolize the workers — each pick
+    // claims ONE task, then re-rotates.  The pick and the `active`
+    // increment happen under the same lock hold, so a region owner that
+    // observed active == 0 after removing its region from `batches_`
+    // knows no worker still references it.
+    Batch* batch = nullptr;
+    for (std::size_t k = 0; k < batches_.size(); ++k) {
+      Batch* candidate = batches_[(rr_cursor_ + k) % batches_.size()];
+      if (candidate->HasWork()) {
+        batch = candidate;
+        rr_cursor_ = (rr_cursor_ + k + 1) % batches_.size();
+        break;
+      }
+    }
+    if (batch == nullptr) continue;  // raced with a claim; re-wait
     ++batch->active;
     lock.unlock();
-    RunBatch(batch);
+    bool ran = RunOneTask(batch);
+    (void)ran;
     lock.lock();
     if (--batch->active == 0) done_cv_.notify_all();
   }
@@ -63,6 +84,8 @@ Status ThreadPool::ParallelFor(int num_tasks,
   if (workers_.empty() || num_tasks == 1) {
     // Inline sequential path: index order, first error wins, cancellation
     // honoured between tasks — the same contract the workers implement.
+    // Concurrent callers each run their own region inline, mirroring the
+    // confinement story of the threaded path.
     for (int task = 0; task < num_tasks; ++task) {
       if (cancel != nullptr && cancel->cancelled()) break;
       RETURN_IF_ERROR(body(task));
@@ -76,19 +99,24 @@ Status ThreadPool::ParallelFor(int num_tasks,
   batch.statuses.assign(num_tasks, Status::OK());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    current_ = &batch;
-    ++generation_;
+    batches_.push_back(&batch);
   }
   work_cv_.notify_all();
-  RunBatch(&batch);  // the calling thread is one of the num_threads
+  // The caller drains its own region: progress never depends on the
+  // workers, so concurrent regions cannot deadlock — at worst a region
+  // runs entirely on its submitting thread while the workers serve
+  // another region.
+  DrainBatch(&batch);
   {
-    // Every claimed task is held by a worker counted in `active`; once it
-    // reaches zero with the caller's own run complete, all tasks are done.
-    // Clearing `current_` under the same lock hold keeps late-waking
-    // workers from touching the dead batch.
+    // After the drain, every claim attempt on this region comes up empty
+    // (counter exhausted, failed, or cancelled), so waiting for the
+    // in-flight tasks is waiting for completion.  Workers pick a region
+    // and bump `active` under this same mutex, so once the region is out
+    // of `batches_` with active == 0, no worker can still reference it.
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return batch.active == 0; });
-    current_ = nullptr;
+    batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
+    if (rr_cursor_ >= batches_.size()) rr_cursor_ = 0;
   }
   for (int task = 0; task < num_tasks; ++task) {
     if (!batch.statuses[task].ok()) return batch.statuses[task];

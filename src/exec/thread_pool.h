@@ -1,5 +1,6 @@
 // Parallel execution of independent decomposed work (coupling components,
-// COP pair groups, CCQA fragment enumerations).
+// COP pair groups, CCQA fragment enumerations) — shared by concurrent
+// callers.
 //
 // The decomposition layer (src/core/decompose.h) turns one specification
 // into many independent sub-problems — Mod(S) ≅ Π_c Mod(S|_c) — and every
@@ -18,6 +19,18 @@
 // tasks already running finish.  Because cancellation only ever *skips*
 // work whose results the caller would not observe, it cannot perturb
 // determinism.
+//
+// Multi-tenant sharing: ParallelFor may be invoked concurrently from
+// distinct threads on one pool (the serving layer's SessionManager runs
+// every tenant's batches on one shared pool).  Each invocation is an
+// independent region with its own claim counter and result slots; the
+// caller always drains its own region itself, so a region completes even
+// when every worker is busy elsewhere — concurrent submission can starve
+// no one and deadlock nothing.  Workers rotate round-robin across the
+// active regions, claiming ONE task per pick, so a region with 1024 tasks
+// cannot monopolize the workers against a region with one (the fairness
+// half of the admission story; see serve/session_manager.h for the
+// per-tenant quota half).
 
 #ifndef CURRENCY_SRC_EXEC_THREAD_POOL_H_
 #define CURRENCY_SRC_EXEC_THREAD_POOL_H_
@@ -56,10 +69,10 @@ class CancellationToken {
 /// task inline in index order, making one-thread execution *literally*
 /// the sequential path rather than merely equivalent to it.
 ///
-/// ParallelFor is a blocking fork-join region and must not be invoked
-/// concurrently or reentrantly on one pool (the decision procedures each
-/// build one pool per call and open one region at a time).  Task bodies
-/// must confine their mutations to per-task state; see the file comment.
+/// ParallelFor is a blocking fork-join region.  Distinct threads may open
+/// regions concurrently (see the file comment); a single call chain must
+/// not nest regions on one pool.  Task bodies must confine their
+/// mutations to per-task state; see the file comment.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -84,7 +97,7 @@ class ThreadPool {
  private:
   /// One fork-join region: claim counter, per-task statuses, live-task
   /// accounting.  Stack-allocated by ParallelFor; workers reach it through
-  /// `current_` under the pool mutex.
+  /// the active-region list under the pool mutex.
   struct Batch {
     int num_tasks = 0;
     const std::function<Status(int)>* body = nullptr;
@@ -92,20 +105,35 @@ class ThreadPool {
     std::atomic<int> next{0};
     std::atomic<bool> failed{false};
     std::vector<Status> statuses;
-    int active = 0;  // workers inside RunBatch; guarded by mu_
+    int active = 0;  // threads currently running a task; guarded by mu_
+
+    /// True while unclaimed, still-wanted tasks remain (claims race with
+    /// this check, so a true answer is a hint, not a guarantee).
+    bool HasWork() const {
+      if (failed.load(std::memory_order_relaxed)) return false;
+      if (cancel != nullptr && cancel->cancelled()) return false;
+      return next.load(std::memory_order_relaxed) < num_tasks;
+    }
   };
 
   void WorkerLoop();
-  static void RunBatch(Batch* batch);
+  /// Drains `batch` on the calling thread: claims and runs tasks until
+  /// none remain (the caller's own region in ParallelFor).
+  static void DrainBatch(Batch* batch);
+  /// Claims and runs exactly one task of `batch`; returns false when no
+  /// task was available (exhausted, failed, or cancelled).
+  static bool RunOneTask(Batch* batch);
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  Batch* current_ = nullptr;     // guarded by mu_
-  std::uint64_t generation_ = 0; // guarded by mu_; bumps per region
-  bool shutdown_ = false;        // guarded by mu_
+  /// Concurrently open regions, in submission order; guarded by mu_.
+  std::vector<Batch*> batches_;
+  /// Round-robin pick cursor over batches_; guarded by mu_.
+  std::size_t rr_cursor_ = 0;
+  bool shutdown_ = false;  // guarded by mu_
 };
 
 /// Resolves an optional caller-owned pool: returns `pool` when non-null

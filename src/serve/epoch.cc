@@ -1,0 +1,173 @@
+#include "src/serve/epoch.h"
+
+#include <utility>
+
+#include "src/sat/solver.h"
+
+namespace currency::serve {
+
+using core::DecomposedEncoder;
+using core::Encoder;
+
+Result<std::shared_ptr<Epoch>> Epoch::Build(core::Specification spec,
+                                            const core::Encoder::Options& enc,
+                                            bool use_chase_routing,
+                                            int64_t version,
+                                            SessionCounters* counters) {
+  std::shared_ptr<Epoch> epoch(
+      new Epoch(std::move(spec), version, counters));
+  // The DecomposedEncoder retains a pointer to the specification, so it is
+  // built only after the spec has settled at its final (heap) address.
+  ASSIGN_OR_RETURN(
+      epoch->decomposed_,
+      DecomposedEncoder::Build(epoch->spec_, enc, use_chase_routing));
+  epoch->slots_ = std::make_unique<Slot[]>(
+      static_cast<size_t>(epoch->decomposed_->num_components()));
+  return epoch;
+}
+
+Result<bool> Epoch::SolveComponentBase(int c) {
+  Slot& slot = slots_[c];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // A racing batch may have solved this component while we queued for the
+  // slot; its bit is authoritative and costs nothing to reuse.
+  int cached = slot.sat.load(std::memory_order_acquire);
+  if (cached >= 0) return cached == 1;
+  if (slot.encoder == nullptr) {
+    ASSIGN_OR_RETURN(slot.encoder, decomposed_->BuildComponentEncoder(c));
+  }
+  bool sat = slot.encoder->solver().Solve() == sat::SolveResult::kSat;
+  counters_->base_solves.fetch_add(1, std::memory_order_relaxed);
+  slot.sat.store(sat ? 1 : 0, std::memory_order_release);
+  return sat;
+}
+
+Result<const core::ComponentChase*> Epoch::ChaseFixpoint(int c) {
+  Slot& slot = slots_[c];
+  // Write-once publication: after the release store of chase_ready the
+  // shared_ptr is never modified again, so the post-acquire read needs no
+  // lock.
+  if (slot.chase_ready.load(std::memory_order_acquire)) {
+    return slot.chase.get();
+  }
+  std::lock_guard<std::mutex> lock(slot.chase_mu);
+  if (!slot.chase_ready.load(std::memory_order_relaxed)) {
+    ASSIGN_OR_RETURN(core::ComponentChase chase,
+                     decomposed_->BuildComponentChase(c));
+    slot.chase = std::make_shared<const core::ComponentChase>(std::move(chase));
+    slot.chase_ready.store(true, std::memory_order_release);
+  }
+  return slot.chase.get();
+}
+
+Status Epoch::WithComponentEncoder(
+    int c, const std::function<Status(core::Encoder*)>& fn) {
+  Slot& slot = slots_[c];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.encoder == nullptr) {
+    // First use, or Harvest moved the encoder into a successor epoch while
+    // this epoch was still pinned; rebuilding gives identical answers.
+    ASSIGN_OR_RETURN(slot.encoder, decomposed_->BuildComponentEncoder(c));
+  }
+  return fn(slot.encoder.get());
+}
+
+Result<bool> Epoch::EnsureAllSolved(exec::ThreadPool* pool) {
+  int n = num_components();
+  std::vector<int> todo;
+  for (int c = 0; c < n; ++c) {
+    int s = slots_[c].sat.load(std::memory_order_acquire);
+    if (s < 0) {
+      todo.push_back(c);
+    } else if (s == 0) {
+      return false;  // a cached UNSAT answers without touching the pool
+    }
+  }
+  if (todo.empty()) return true;
+  // Solve the unknown components on the shared pool.  Per-task results
+  // land in their own slots; the first UNSAT cancels the unclaimed rest,
+  // whose slots stay unknown — sound, since the answer is already false
+  // and a later batch re-solves them through this same path.
+  std::vector<std::optional<bool>> outcome(todo.size());
+  exec::CancellationToken cancel;
+  RETURN_IF_ERROR(pool->ParallelFor(
+      static_cast<int>(todo.size()),
+      [&](int k) -> Status {
+        int c = todo[k];
+        if (decomposed_->chase_routed(c)) {
+          // Chase-eligible component: consistency is the fixpoint's
+          // consistency bit (Theorem 6.1(1) on S|_c); no encoder is
+          // built.
+          ASSIGN_OR_RETURN(const core::ComponentChase* chase,
+                           ChaseFixpoint(c));
+          counters_->chase_solves.fetch_add(1, std::memory_order_relaxed);
+          outcome[k] = chase->consistent;
+          if (!chase->consistent) cancel.Cancel();
+          return Status::OK();
+        }
+        ASSIGN_OR_RETURN(bool sat, SolveComponentBase(c));
+        outcome[k] = sat;
+        if (!sat) cancel.Cancel();
+        return Status::OK();
+      },
+      &cancel));
+  bool consistent = true;
+  for (size_t k = 0; k < todo.size(); ++k) {
+    if (outcome[k].has_value()) {
+      slots_[todo[k]].sat.store(*outcome[k] ? 1 : 0,
+                                std::memory_order_release);
+      if (!*outcome[k]) consistent = false;
+    } else {
+      consistent = false;  // skipped by cancellation ⇒ some task was UNSAT
+    }
+  }
+  return consistent;
+}
+
+std::map<uint64_t, Epoch::Harvested> Epoch::Harvest() {
+  std::map<uint64_t, Harvested> cache;
+  for (int c = 0; c < num_components(); ++c) {
+    Slot& slot = slots_[c];
+    Harvested h;
+    // try_lock: never wait on a batch that is mid-solve on this component;
+    // an unharvested encoder just rebuilds lazily in the successor.
+    if (slot.mu.try_lock()) {
+      h.encoder = std::move(slot.encoder);
+      slot.mu.unlock();
+    }
+    {
+      // The chase shared_ptr is COPIED: pinned readers of this epoch keep
+      // their raw pointers valid while the successor shares the fixpoint.
+      std::lock_guard<std::mutex> lock(slot.chase_mu);
+      if (slot.chase_ready.load(std::memory_order_relaxed)) {
+        h.chase = slot.chase;
+      }
+    }
+    int s = slot.sat.load(std::memory_order_acquire);
+    if (s >= 0) h.sat = (s == 1);
+    if (h.encoder != nullptr || h.chase != nullptr || h.sat.has_value()) {
+      // Distinct components always differ in content (each entity group
+      // belongs to exactly one), so fingerprints collide only as 64-bit
+      // hash accidents; a first-wins map is the pragmatic resolution.
+      cache.emplace(decomposed_->component_fingerprint(c), std::move(h));
+    }
+  }
+  return cache;
+}
+
+void Epoch::AdoptEncoder(int c, std::unique_ptr<core::Encoder> encoder) {
+  encoder->RebindSpec(spec_);
+  slots_[c].encoder = std::move(encoder);
+}
+
+void Epoch::AdoptChase(int c,
+                       std::shared_ptr<const core::ComponentChase> chase) {
+  slots_[c].chase = std::move(chase);
+  slots_[c].chase_ready.store(true, std::memory_order_release);
+}
+
+void Epoch::AdoptSat(int c, bool sat) {
+  slots_[c].sat.store(sat ? 1 : 0, std::memory_order_release);
+}
+
+}  // namespace currency::serve

@@ -49,12 +49,8 @@ Status FlipItemsPerComponent(
 
 }  // namespace
 
-CurrencySession::CurrencySession(core::Specification spec,
-                                 const SessionOptions& options)
-    : spec_(std::move(spec)),
-      options_(options),
-      enc_(options.encoder),
-      pool_(options.num_threads) {
+CurrencySession::CurrencySession(const SessionOptions& options)
+    : options_(options), enc_(options.encoder) {
   // One cached encoding serves all four problems: CPS and COP ignore the
   // is-last selectors, DCIP and CCQA need them.
   enc_.define_is_last = true;
@@ -62,95 +58,72 @@ CurrencySession::CurrencySession(core::Specification spec,
   enc_.restrict_to = nullptr;
   enc_.copy_index = nullptr;
   enc_.chase_seed = nullptr;
+  pool_ = exec::ResolvePool(options_.pool, options_.num_threads, own_pool_);
 }
 
 Result<std::unique_ptr<CurrencySession>> CurrencySession::Create(
     core::Specification spec, const SessionOptions& options) {
-  if (options.num_threads < 1) {
+  if (options.num_threads < 1 && options.pool == nullptr) {
     return Status::InvalidArgument("SessionOptions.num_threads must be >= 1");
   }
-  std::unique_ptr<CurrencySession> session(
-      new CurrencySession(std::move(spec), options));
-  RETURN_IF_ERROR(session->BuildEpoch());
+  if (options.max_current_instances <= 0) {
+    return Status::InvalidArgument(
+        "SessionOptions.max_current_instances must be >= 1");
+  }
+  std::unique_ptr<CurrencySession> session(new CurrencySession(options));
+  ASSIGN_OR_RETURN(
+      session->current_,
+      Epoch::Build(std::move(spec), session->enc_, options.use_chase_routing,
+                   /*version=*/0, &session->counters_));
   return session;
 }
 
-Status CurrencySession::BuildEpoch() {
-  ASSIGN_OR_RETURN(decomposed_,
-                   DecomposedEncoder::Build(spec_, enc_,
-                                            options_.use_chase_routing));
-  sat_.assign(decomposed_->num_components(), std::nullopt);
-  return Status::OK();
+std::shared_ptr<Epoch> CurrencySession::Pin() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return current_;
 }
 
-Result<bool> CurrencySession::EnsureAllSolved() {
-  int n = decomposed_->num_components();
-  std::vector<int> todo;
-  for (int c = 0; c < n; ++c) {
-    if (!sat_[c].has_value()) {
-      todo.push_back(c);
-    } else if (!*sat_[c]) {
-      return false;  // a cached UNSAT answers without touching the pool
-    }
-  }
-  if (todo.empty()) return true;
-  // Solve the unknown components on the shared pool.  Per-task results
-  // land in their own slots; the first UNSAT cancels the unclaimed rest,
-  // whose slots stay unknown — sound, since the answer is already false
-  // and a later batch re-solves them through this same path.
-  std::vector<std::optional<bool>> outcome(todo.size());
-  std::atomic<int64_t> solves{0};
-  std::atomic<int64_t> chased{0};
-  exec::CancellationToken cancel;
-  RETURN_IF_ERROR(pool_.ParallelFor(
-      static_cast<int>(todo.size()),
-      [&](int k) -> Status {
-        int c = todo[k];
-        if (decomposed_->chase_routed(c)) {
-          // Chase-eligible component: consistency is the fixpoint's
-          // consistency bit (Theorem 6.1(1) on S|_c); no encoder is
-          // built.  Each component's fixpoint slot is touched by exactly
-          // this task, matching the encoder-slot confinement.
-          ASSIGN_OR_RETURN(const core::ComponentChase* chase,
-                           decomposed_->ComponentChaseFixpoint(c));
-          chased.fetch_add(1, std::memory_order_relaxed);
-          outcome[k] = chase->consistent;
-          if (!chase->consistent) cancel.Cancel();
-          return Status::OK();
-        }
-        ASSIGN_OR_RETURN(Encoder * encoder, decomposed_->ComponentEncoder(c));
-        bool sat = encoder->solver().Solve() == sat::SolveResult::kSat;
-        solves.fetch_add(1, std::memory_order_relaxed);
-        outcome[k] = sat;
-        if (!sat) cancel.Cancel();
-        return Status::OK();
-      },
-      &cancel));
-  stats_.base_solves += solves.load(std::memory_order_relaxed);
-  stats_.chase_solves += chased.load(std::memory_order_relaxed);
-  bool consistent = true;
-  for (size_t k = 0; k < todo.size(); ++k) {
-    if (outcome[k].has_value()) {
-      sat_[todo[k]] = outcome[k];
-      if (!*outcome[k]) consistent = false;
-    } else {
-      consistent = false;  // skipped by cancellation ⇒ some task was UNSAT
-    }
-  }
-  return consistent;
+const core::Specification& CurrencySession::spec() const {
+  return Pin()->spec();
 }
 
-Result<bool> CurrencySession::CpsCheck() { return EnsureAllSolved(); }
+SessionStats CurrencySession::stats() const {
+  SessionStats s;
+  s.mutations = counters_.mutations.load(std::memory_order_relaxed);
+  s.base_solves = counters_.base_solves.load(std::memory_order_relaxed);
+  s.merged_builds = counters_.merged_builds.load(std::memory_order_relaxed);
+  s.chase_solves = counters_.chase_solves.load(std::memory_order_relaxed);
+  s.last_reused = counters_.last_reused.load(std::memory_order_relaxed);
+  s.last_invalidated =
+      counters_.last_invalidated.load(std::memory_order_relaxed);
+  s.last_chase_reused =
+      counters_.last_chase_reused.load(std::memory_order_relaxed);
+  s.last_chase_rechased =
+      counters_.last_chase_rechased.load(std::memory_order_relaxed);
+  return s;
+}
+
+int CurrencySession::num_components() const {
+  return Pin()->num_components();
+}
+
+int64_t CurrencySession::epoch_version() const { return Pin()->version(); }
+
+Result<bool> CurrencySession::CpsCheck() {
+  return Pin()->EnsureAllSolved(pool_);
+}
 
 Result<std::vector<bool>> CurrencySession::CopBatch(
     const std::vector<core::CurrencyOrderQuery>& queries) {
+  std::shared_ptr<Epoch> epoch = Pin();
+  const core::Specification& spec = epoch->spec();
   // Validate the whole batch up front, mirroring the one-shot API's
   // InvalidArgument behaviour (a malformed item fails the batch before
   // any solving).
   std::vector<int> inst_of(queries.size(), -1);
   for (size_t i = 0; i < queries.size(); ++i) {
-    ASSIGN_OR_RETURN(inst_of[i], spec_.InstanceIndex(queries[i].relation));
-    const core::TemporalInstance& instance = spec_.instance(inst_of[i]);
+    ASSIGN_OR_RETURN(inst_of[i], spec.InstanceIndex(queries[i].relation));
+    const core::TemporalInstance& instance = spec.instance(inst_of[i]);
     const Relation& rel = instance.relation();
     for (const core::RequiredPair& p : queries[i].pairs) {
       if (p.attr < 1 || p.attr >= instance.schema().arity()) {
@@ -163,7 +136,7 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
       }
     }
   }
-  ASSIGN_OR_RETURN(bool consistent, EnsureAllSolved());
+  ASSIGN_OR_RETURN(bool consistent, epoch->EnsureAllSolved(pool_));
   std::vector<bool> out(queries.size(), true);
   if (!consistent) return out;  // Mod(S) = ∅: every order vacuously certain
 
@@ -171,7 +144,7 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
   // (irreflexivity) or a cross-entity pair (no order variable relates
   // tuples of distinct entities) can hold in no completion.
   for (size_t i = 0; i < queries.size(); ++i) {
-    const Relation& rel = spec_.instance(inst_of[i]).relation();
+    const Relation& rel = spec.instance(inst_of[i]).relation();
     for (const core::RequiredPair& p : queries[i].pairs) {
       if (p.before == p.after ||
           !(rel.tuple(p.before).eid() == rel.tuple(p.after).eid())) {
@@ -192,9 +165,9 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
   std::map<int, std::vector<Probe>> by_component;
   for (size_t i = 0; i < queries.size(); ++i) {
     if (!out[i]) continue;  // answer already settled structurally
-    const Relation& rel = spec_.instance(inst_of[i]).relation();
+    const Relation& rel = spec.instance(inst_of[i]).relation();
     for (const core::RequiredPair& p : queries[i].pairs) {
-      int c = decomposed_->decomposition().ComponentOf(
+      int c = epoch->decomposed().decomposition().ComponentOf(
           inst_of[i], rel.tuple(p.before).eid());
       by_component[c].push_back(Probe{static_cast<int>(i), &p});
     }
@@ -204,18 +177,19 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
   // components are deliberately not consulted — cross-task peeking would
   // make each solver's call sequence depend on timing.
   RETURN_IF_ERROR(FlipItemsPerComponent(
-      &pool_, by_component,
+      pool_, by_component,
       [&](int c, const std::vector<Probe>& probes,
           std::vector<int>* refuted) -> Status {
-        if (decomposed_->chase_routed(c)) {
+        if (epoch->decomposed().chase_routed(c)) {
           // Lemma 6.2 on S|_c: the pair is certain iff it is in the
           // component's PO∞ (the fixpoint is cached — EnsureAllSolved
           // computed or adopted it).  No solver state, so no need to
-          // dedupe repeated items.
+          // dedupe repeated items — and no lock: the fixpoint is
+          // read-only once published.
           ASSIGN_OR_RETURN(const core::ComponentChase* chase,
-                           decomposed_->ComponentChaseFixpoint(c));
+                           epoch->ChaseFixpoint(c));
           for (const Probe& probe : probes) {
-            const Relation& rel = spec_.instance(inst_of[probe.item]).relation();
+            const Relation& rel = spec.instance(inst_of[probe.item]).relation();
             if (!chase->CertainLess(inst_of[probe.item],
                                     rel.tuple(probe.pair->before).eid(),
                                     probe.pair->attr, probe.pair->before,
@@ -225,21 +199,26 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
           }
           return Status::OK();
         }
-        ASSIGN_OR_RETURN(Encoder * encoder, decomposed_->ComponentEncoder(c));
-        std::set<int> local_refuted;
-        for (const Probe& probe : probes) {
-          if (local_refuted.count(probe.item)) continue;
-          sat::Lit lit =
-              encoder->OrdLit(inst_of[probe.item], probe.pair->attr,
-                              probe.pair->before, probe.pair->after);
-          if (encoder->solver().SolveWithAssumptions({sat::Negate(lit)}) ==
-              sat::SolveResult::kSat) {
-            // A completion orders them the other way.
-            local_refuted.insert(probe.item);
-            refuted->push_back(probe.item);
+        // Exclusive solver access for the whole probe sequence: a
+        // concurrent batch probing the same component waits, keeping both
+        // call sequences contiguous (answers are order-independent either
+        // way; see the determinism contract).
+        return epoch->WithComponentEncoder(c, [&](Encoder* encoder) -> Status {
+          std::set<int> local_refuted;
+          for (const Probe& probe : probes) {
+            if (local_refuted.count(probe.item)) continue;
+            sat::Lit lit =
+                encoder->OrdLit(inst_of[probe.item], probe.pair->attr,
+                                probe.pair->before, probe.pair->after);
+            if (encoder->solver().SolveWithAssumptions({sat::Negate(lit)}) ==
+                sat::SolveResult::kSat) {
+              // A completion orders them the other way.
+              local_refuted.insert(probe.item);
+              refuted->push_back(probe.item);
+            }
           }
-        }
-        return Status::OK();
+          return Status::OK();
+        });
       },
       &out));
   return out;
@@ -247,11 +226,13 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
 
 Result<std::vector<bool>> CurrencySession::DcipBatch(
     const std::vector<std::string>& relations) {
+  std::shared_ptr<Epoch> epoch = Pin();
+  const core::Specification& spec = epoch->spec();
   std::vector<int> inst_of(relations.size(), -1);
   for (size_t i = 0; i < relations.size(); ++i) {
-    ASSIGN_OR_RETURN(inst_of[i], spec_.InstanceIndex(relations[i]));
+    ASSIGN_OR_RETURN(inst_of[i], spec.InstanceIndex(relations[i]));
   }
-  ASSIGN_OR_RETURN(bool consistent, EnsureAllSolved());
+  ASSIGN_OR_RETURN(bool consistent, epoch->EnsureAllSolved(pool_));
   std::vector<bool> out(relations.size(), true);
   if (!consistent) return out;  // vacuous
 
@@ -264,43 +245,45 @@ Result<std::vector<bool>> CurrencySession::DcipBatch(
   std::map<int, std::vector<Request>> by_component;
   for (size_t i = 0; i < relations.size(); ++i) {
     for (int c :
-         decomposed_->decomposition().ComponentsOfInstance(inst_of[i])) {
+         epoch->decomposed().decomposition().ComponentsOfInstance(inst_of[i])) {
       by_component[c].push_back(Request{static_cast<int>(i), inst_of[i]});
     }
   }
   RETURN_IF_ERROR(FlipItemsPerComponent(
-      &pool_, by_component,
+      pool_, by_component,
       [&](int c, const std::vector<Request>& requests,
           std::vector<int>* nondeterministic) -> Status {
-        if (decomposed_->chase_routed(c)) {
+        if (epoch->decomposed().chase_routed(c)) {
           // Theorem 6.1(3) on S|_c: deterministic iff the certain sinks
           // of every group/attribute agree on the value.  Pure reads on
           // the cached fixpoint — no model to re-establish.
           ASSIGN_OR_RETURN(const core::ComponentChase* chase,
-                           decomposed_->ComponentChaseFixpoint(c));
+                           epoch->ChaseFixpoint(c));
           for (const Request& req : requests) {
-            if (!core::internal::DeterministicViaComponentChase(spec_, *chase,
+            if (!core::internal::DeterministicViaComponentChase(spec, *chase,
                                                                 req.inst)) {
               nondeterministic->push_back(req.item);
             }
           }
           return Status::OK();
         }
-        ASSIGN_OR_RETURN(Encoder * encoder, decomposed_->ComponentEncoder(c));
-        for (const Request& req : requests) {
-          // Re-establish a model: earlier COP probes, earlier requests in
-          // this loop, or a previous batch staled it.  The component is
-          // known satisfiable (EnsureAllSolved), so kUnsat is a bug.
-          if (encoder->solver().Solve() != sat::SolveResult::kSat) {
-            return Status::Internal(
-                "cached-SAT component re-solved unsatisfiable");
+        return epoch->WithComponentEncoder(c, [&](Encoder* encoder) -> Status {
+          for (const Request& req : requests) {
+            // Re-establish a model: earlier COP probes, earlier requests
+            // in this loop, or a concurrent batch staled it.  The
+            // component is known satisfiable (EnsureAllSolved), so kUnsat
+            // is a bug.
+            if (encoder->solver().Solve() != sat::SolveResult::kSat) {
+              return Status::Internal(
+                  "cached-SAT component re-solved unsatisfiable");
+            }
+            ASSIGN_OR_RETURN(bool deterministic,
+                             core::internal::DeterministicProbe(
+                                 spec, encoder, req.inst));
+            if (!deterministic) nondeterministic->push_back(req.item);
           }
-          ASSIGN_OR_RETURN(bool deterministic,
-                           core::internal::DeterministicProbe(
-                               spec_, encoder, req.inst));
-          if (!deterministic) nondeterministic->push_back(req.item);
-        }
-        return Status::OK();
+          return Status::OK();
+        });
       },
       &out));
   return out;
@@ -308,10 +291,12 @@ Result<std::vector<bool>> CurrencySession::DcipBatch(
 
 Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
     const std::vector<CcqaRequest>& requests) {
+  std::shared_ptr<Epoch> epoch = Pin();
+  const core::Specification& spec = epoch->spec();
   std::vector<std::vector<int>> instances(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     ASSIGN_OR_RETURN(instances[i],
-                     core::internal::QueryInstances(spec_, requests[i].query));
+                     core::internal::QueryInstances(spec, requests[i].query));
     if (requests[i].candidate.has_value() &&
         static_cast<size_t>(requests[i].candidate->arity()) !=
             requests[i].query.head.size()) {
@@ -319,7 +304,7 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
           "candidate tuple arity does not match query head");
     }
   }
-  ASSIGN_OR_RETURN(bool consistent, EnsureAllSolved());
+  ASSIGN_OR_RETURN(bool consistent, epoch->EnsureAllSolved(pool_));
   std::vector<CcqaResponse> out(requests.size());
   if (!consistent) {
     // Mod(S) = ∅: membership is vacuously true; the answer set is not a
@@ -335,18 +320,19 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
   // SP routing: a request answers from component chase fixpoints when its
   // query is SP over one relation and every component that relation
   // touches is chase-eligible.  Decide that per request up front and warm
-  // the needed fixpoints sequentially — the parallel tasks below then
-  // only read the cache, so no two tasks race on a fixpoint slot.
+  // the needed fixpoints (write-once publication makes the warm-up safe
+  // against concurrent batches; the parallel tasks below then only read).
   std::vector<char> sp_route(requests.size(), 0);
-  if (decomposed_->chase_routing()) {
+  if (epoch->decomposed().chase_routing()) {
     for (size_t i = 0; i < requests.size(); ++i) {
       const query::Query& q = requests[i].query;
       if (!query::IsSpQuery(q) || q.body->Relations().size() != 1) continue;
       std::vector<int> relevant =
-          decomposed_->decomposition().ComponentsOfInstances(instances[i]);
+          epoch->decomposed().decomposition().ComponentsOfInstances(
+              instances[i]);
       bool eligible = true;
       for (int c : relevant) {
-        if (!decomposed_->decomposition().chase_eligible(c)) {
+        if (!epoch->decomposed().decomposition().chase_eligible(c)) {
           eligible = false;
           break;
         }
@@ -354,7 +340,7 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
       if (!eligible) continue;
       sp_route[i] = 1;
       for (int c : relevant) {
-        RETURN_IF_ERROR(decomposed_->ComponentChaseFixpoint(c).status());
+        RETURN_IF_ERROR(epoch->ChaseFixpoint(c).status());
       }
     }
   }
@@ -365,15 +351,17 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
   // requests instead assemble their instance's PO∞ from the warmed
   // fixpoints — read-only, so they parallelize the same way.
   std::atomic<int64_t> merged{0};
-  RETURN_IF_ERROR(pool_.ParallelFor(
+  RETURN_IF_ERROR(pool_->ParallelFor(
       static_cast<int>(requests.size()), [&](int i) -> Status {
         std::vector<int> relevant =
-            decomposed_->decomposition().ComponentsOfInstances(instances[i]);
+            epoch->decomposed().decomposition().ComponentsOfInstances(
+                instances[i]);
         if (sp_route[i]) {
-          ASSIGN_OR_RETURN(std::set<Tuple> answers,
-                           core::internal::SpAnswersViaComponentChases(
-                               decomposed_.get(), spec_, requests[i].query,
-                               relevant));
+          ASSIGN_OR_RETURN(
+              std::set<Tuple> answers,
+              core::internal::SpAnswersViaComponentChases(
+                  [&](int c) { return epoch->ChaseFixpoint(c); }, spec,
+                  requests[i].query, relevant));
           if (requests[i].candidate.has_value()) {
             out[i].is_certain = answers.count(*requests[i].candidate) > 0;
           } else {
@@ -383,14 +371,14 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
         }
         auto make_encoder = [&]() -> Result<std::unique_ptr<Encoder>> {
           merged.fetch_add(1, std::memory_order_relaxed);
-          return decomposed_->BuildMergedEncoder(relevant);
+          return epoch->BuildMergedEncoder(relevant);
         };
         if (requests[i].candidate.has_value()) {
           ASSIGN_OR_RETURN(auto encoder, make_encoder());
           ASSIGN_OR_RETURN(
               bool certain,
               core::internal::CheckCertainMemberWith(
-                  encoder.get(), spec_, requests[i].query,
+                  encoder.get(), spec, requests[i].query,
                   *requests[i].candidate, instances[i], ccqa));
           out[i].is_certain = certain;
           return Status::OK();
@@ -398,74 +386,71 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
         ASSIGN_OR_RETURN(auto seed, make_encoder());
         ASSIGN_OR_RETURN(
             std::set<Tuple> answers,
-            core::internal::CertainAnswersVia(seed.get(), make_encoder, spec_,
+            core::internal::CertainAnswersVia(seed.get(), make_encoder, spec,
                                               requests[i].query, instances[i],
                                               ccqa));
         out[i].answers = std::move(answers);
         return Status::OK();
       }));
-  stats_.merged_builds += merged.load(std::memory_order_relaxed);
+  counters_.merged_builds.fetch_add(merged.load(std::memory_order_relaxed),
+                                    std::memory_order_relaxed);
   return out;
 }
 
 Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {
-  // Atomic: a rejected batch leaves the specification — and therefore
-  // every cache — exactly as it was.
-  RETURN_IF_ERROR(spec_.ApplyTupleEdits(edits));
-  ++stats_.mutations;
-  // Harvest the outgoing epoch into a fingerprint-keyed cache.  Distinct
-  // components always differ in content (each entity group belongs to
-  // exactly one), so fingerprints collide only as 64-bit hash accidents;
-  // a first-wins map is the pragmatic resolution.
-  struct Harvested {
-    std::unique_ptr<Encoder> encoder;
-    std::unique_ptr<core::ComponentChase> chase;
-    std::optional<bool> sat;
-  };
-  std::map<uint64_t, Harvested> cache;
-  for (int c = 0; c < decomposed_->num_components(); ++c) {
-    Harvested h{decomposed_->TakeComponentEncoder(c),
-                decomposed_->TakeComponentChase(c), sat_[c]};
-    if (h.encoder != nullptr || h.chase != nullptr || h.sat.has_value()) {
-      cache.emplace(decomposed_->component_fingerprint(c), std::move(h));
-    }
-  }
-  // Rebuild the coupling graph over the edited specification, then adopt
-  // every component whose content fingerprint is unchanged: its encoder
-  // (clauses, learnt clauses, variable layout), chase fixpoint, and
-  // base-solve result are still exactly what a fresh build would produce
-  // and solve.  The fingerprint covers member tuples, coupling copy
-  // buckets, AND the texts of the denial constraints with at least one
-  // grounding on the component, so a fingerprint match also preserves
-  // chase eligibility.
-  RETURN_IF_ERROR(BuildEpoch());
-  int n = decomposed_->num_components();
+  // One successor epoch is built at a time; concurrent Mutate callers
+  // queue here while batches keep running on the published epoch.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::shared_ptr<Epoch> old = Pin();
+  // Copy-then-edit keeps the published epoch bit-frozen: a rejected batch
+  // discards the copy and changes nothing, preserving the atomicity
+  // contract of the in-place path.
+  core::Specification next = old->spec();
+  RETURN_IF_ERROR(next.ApplyTupleEdits(edits));
+  counters_.mutations.fetch_add(1, std::memory_order_relaxed);
+  // Harvest the outgoing epoch into a fingerprint-keyed cache, then adopt
+  // every component of the successor whose content fingerprint is
+  // unchanged: its encoder (clauses, learnt clauses, variable layout),
+  // chase fixpoint, and base-solve result are still exactly what a fresh
+  // build would produce and solve.  The fingerprint covers member tuples,
+  // coupling copy buckets, AND the texts of the denial constraints with
+  // at least one grounding on the component, so a fingerprint match also
+  // preserves chase eligibility.
+  std::map<uint64_t, Epoch::Harvested> cache = old->Harvest();
+  ASSIGN_OR_RETURN(std::shared_ptr<Epoch> epoch,
+                   Epoch::Build(std::move(next), enc_,
+                                options_.use_chase_routing,
+                                old->version() + 1, &counters_));
+  int n = epoch->num_components();
   int64_t reused = 0;
   int64_t chase_reused = 0;
   int64_t eligible = 0;
   for (int c = 0; c < n; ++c) {
-    if (decomposed_->decomposition().chase_eligible(c)) ++eligible;
-    auto it = cache.find(decomposed_->component_fingerprint(c));
+    if (epoch->decomposed().decomposition().chase_eligible(c)) ++eligible;
+    auto it = cache.find(epoch->decomposed().component_fingerprint(c));
     if (it == cache.end()) continue;
     if (it->second.encoder != nullptr) {
-      RETURN_IF_ERROR(decomposed_->AdoptComponentEncoder(
-          c, std::move(it->second.encoder)));
+      epoch->AdoptEncoder(c, std::move(it->second.encoder));
     }
     if (it->second.chase != nullptr &&
-        decomposed_->decomposition().chase_eligible(c)) {
-      RETURN_IF_ERROR(decomposed_->AdoptComponentChase(
-          c, std::move(it->second.chase)));
+        epoch->decomposed().decomposition().chase_eligible(c)) {
+      epoch->AdoptChase(c, std::move(it->second.chase));
       ++chase_reused;
     }
-    sat_[c] = it->second.sat;
+    if (it->second.sat.has_value()) epoch->AdoptSat(c, *it->second.sat);
     ++reused;
     cache.erase(it);
   }
-  stats_.last_reused = reused;
-  stats_.last_invalidated = n - reused;
-  stats_.last_chase_reused = chase_reused;
-  stats_.last_chase_rechased =
-      decomposed_->chase_routing() ? eligible - chase_reused : 0;
+  counters_.last_reused.store(reused, std::memory_order_relaxed);
+  counters_.last_invalidated.store(n - reused, std::memory_order_relaxed);
+  counters_.last_chase_reused.store(chase_reused, std::memory_order_relaxed);
+  counters_.last_chase_rechased.store(
+      epoch->decomposed().chase_routing() ? eligible - chase_reused : 0,
+      std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    current_ = std::move(epoch);
+  }
   return Status::OK();
 }
 

@@ -16,36 +16,46 @@
 //   * Component encoders build lazily and persist across requests; their
 //     base solves are cached, so a warm CpsCheck is a cache scan with
 //     zero solver calls.
-//   * One exec::ThreadPool is owned by the session and shared by every
-//     request (the one-shot APIs gained a matching CpsOptions::pool knob
-//     so they can borrow a caller's pool the same way).
-//   * Mutate(edits) applies in-place tuple edits, re-derives the coupling
-//     graph, fingerprints every component (Decomposition::fingerprint)
-//     and re-adopts the encoder and cached result of every component
-//     whose fingerprint is unchanged — exactly the components an edit
-//     touched are re-encoded and re-solved.
+//   * One exec::ThreadPool is owned by (or lent to) the session and
+//     shared by every request (the one-shot APIs gained a matching
+//     CpsOptions::pool knob so they can borrow a caller's pool the same
+//     way).
+//   * Mutate(edits) snapshots the specification with the edits applied,
+//     re-derives the coupling graph, fingerprints every component
+//     (Decomposition::fingerprint) and re-adopts the encoder, chase
+//     fixpoint and cached result of every component whose fingerprint is
+//     unchanged — exactly the components an edit touched are re-encoded
+//     and re-solved.
+//
+// Threading: batches and Mutate may be called concurrently from any
+// number of threads.  The session keeps its state in refcounted immutable
+// epoch snapshots (serve/epoch.h): a batch pins the current epoch and
+// runs to completion on it, while Mutate builds the next epoch off to the
+// side and publishes it atomically — readers never block the writer and
+// vice versa.  A batch that overlaps a Mutate answers against either the
+// pre- or the post-edit snapshot (never a mix); concurrent Mutate calls
+// serialize on an internal writer lock.  Within one epoch, concurrent
+// batches share the per-component caches under per-component locks.
 //
 // Determinism contract: every batch answer equals the answer a fresh
-// build over the session's current specification would give.  Two facts
+// build over the pinned epoch's specification would give.  Two facts
 // carry the argument: (1) cached component solvers accumulate learnt
-// clauses across requests, which never changes satisfiability answers
-// (learnt clauses are implied) and the COP/DCIP probes are
-// model-independent by construction; (2) every operation that adds
-// permanent clauses beyond the base encoding — CCQA's blocking loops —
-// runs on a fresh throwaway merged encoder, never on a cached component
-// encoder.  tests/session_equivalence_test.cc property-checks this
-// against fresh solves AND the brute-force oracle across thread counts
-// and mutation sequences.
-//
-// Threading: a CurrencySession serves one request at a time (no internal
-// request queue; callers serialize).  Each batch call parallelizes
-// internally across components / batch items on the session pool.
+// clauses across requests — and now across concurrent batches — which
+// never changes satisfiability answers (learnt clauses are implied) and
+// the COP/DCIP probes are model-independent by construction; (2) every
+// operation that adds permanent clauses beyond the base encoding —
+// CCQA's blocking loops — runs on a fresh throwaway merged encoder,
+// never on a cached component encoder.  tests/session_equivalence_test.cc
+// property-checks this against fresh solves AND the brute-force oracle
+// across thread counts and mutation sequences;
+// tests/concurrent_session_test.cc fuzzes it under true concurrency.
 
 #ifndef CURRENCY_SRC_SERVE_SESSION_H_
 #define CURRENCY_SRC_SERVE_SESSION_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -58,6 +68,7 @@
 #include "src/core/specification.h"
 #include "src/exec/thread_pool.h"
 #include "src/query/parser.h"
+#include "src/serve/epoch.h"
 
 namespace currency::serve {
 
@@ -65,7 +76,13 @@ namespace currency::serve {
 struct SessionOptions {
   /// Pool size shared by every request (counts the calling thread, like
   /// the one-shot num_threads knobs; 1 runs strictly sequentially).
+  /// Ignored when `pool` is set.
   int num_threads = 1;
+  /// Optional caller-owned pool shared with other sessions (the
+  /// SessionManager lends every tenant one pool this way; see
+  /// exec::ThreadPool's multi-region contract).  Not owned; must outlive
+  /// the session.
+  exec::ThreadPool* pool = nullptr;
   /// Budget forwarded to CCQA's enumeration/blocking loops.
   int64_t max_current_instances = 1'000'000;
   /// Serve chase-eligible components (no denial constraint grounds on any
@@ -83,7 +100,9 @@ struct SessionOptions {
   core::Encoder::Options encoder;
 };
 
-/// Observability counters (monotonic unless noted).
+/// Observability counters (monotonic unless noted).  A stats() call
+/// returns a snapshot; with concurrent batches in flight the fields are
+/// individually accurate but not mutually atomic.
 struct SessionStats {
   /// Mutate calls applied successfully.
   int64_t mutations = 0;
@@ -131,20 +150,27 @@ struct CcqaResponse {
 };
 
 /// A long-lived session over one specification.  Create → query batches →
-/// Mutate → query batches → ...; see the file comment for the caching and
-/// determinism contract.
+/// Mutate → query batches → ...; batches and Mutate may overlap freely
+/// (see the file comment for the snapshot semantics).
 class CurrencySession {
  public:
   /// Registers `spec` (moved in) and builds the first epoch: coupling
   /// graph, fingerprints, per-component filters.  No SAT solving happens
-  /// yet — base solves are paid by the first query batch.
+  /// yet — base solves are paid by the first query batch.  Rejects
+  /// num_threads < 1 and max_current_instances <= 0 with InvalidArgument.
   static Result<std::unique_ptr<CurrencySession>> Create(
       core::Specification spec, const SessionOptions& options = {});
 
-  /// The session's current (possibly mutated) specification.
-  const core::Specification& spec() const { return spec_; }
-  const SessionStats& stats() const { return stats_; }
-  int num_components() const { return decomposed_->num_components(); }
+  /// The current epoch's specification.  The reference is valid until the
+  /// Mutate after next at the earliest; callers that overlap Mutate
+  /// should copy.
+  const core::Specification& spec() const;
+  SessionStats stats() const;
+  int num_components() const;
+  /// The current epoch's version: 0 at creation, +1 per successful
+  /// Mutate.  Two reads bracketing a batch bound which snapshots the
+  /// batch could have pinned.
+  int64_t epoch_version() const;
 
   /// CPS: is Mod(S) non-empty?  Cold calls solve every unknown component
   /// in parallel (first-UNSAT cancellation); warm calls answer from the
@@ -171,39 +197,33 @@ class CurrencySession {
   Result<std::vector<CcqaResponse>> CcqaBatch(
       const std::vector<CcqaRequest>& requests);
 
-  /// Applies `edits` to the specification atomically (see
+  /// Applies `edits` to a copy of the current epoch's specification (see
   /// Specification::ApplyTupleEdits for the validated invariants; on
-  /// validation failure nothing changes, including the caches), then
-  /// recomputes the coupling graph and invalidates exactly the components
-  /// whose content fingerprint changed.  Unchanged components keep their
-  /// encoder and cached base-solve result, so the next batch re-solves
-  /// only what the edits touched.
+  /// validation failure nothing changes, including the caches and the
+  /// published epoch), builds the next epoch, adopts every component
+  /// whose content fingerprint is unchanged, and publishes atomically.
+  /// In-flight batches finish on the epoch they pinned.
   Status Mutate(const std::vector<core::TupleEdit>& edits);
 
  private:
-  CurrencySession(core::Specification spec, const SessionOptions& options);
+  explicit CurrencySession(const SessionOptions& options);
 
-  /// (Re)builds decomposed_ over the current spec_ and resets sat_.
-  Status BuildEpoch();
+  /// The current epoch, pinned (a batch holds the pin until it returns).
+  std::shared_ptr<Epoch> Pin() const;
 
-  /// Ensures every component has a cached base-solve result, solving the
-  /// unknown ones on the session pool (first-UNSAT cancellation; slots
-  /// skipped by cancellation stay unknown, which is sound because the
-  /// answer is already false).  Returns the CPS answer: all components
-  /// satisfiable.
-  Result<bool> EnsureAllSolved();
-
-  core::Specification spec_;
   SessionOptions options_;
   /// options_.encoder with define_is_last forced and the session-managed
   /// pointer knobs cleared.
   core::Encoder::Options enc_;
-  exec::ThreadPool pool_;
-  std::unique_ptr<core::DecomposedEncoder> decomposed_;
-  /// sat_[c]: cached base satisfiability of component c; nullopt = never
-  /// solved in this epoch (or skipped by cancellation).
-  std::vector<std::optional<bool>> sat_;
-  SessionStats stats_;
+  /// Owned pool when options_.pool is null.
+  std::optional<exec::ThreadPool> own_pool_;
+  exec::ThreadPool* pool_ = nullptr;
+  SessionCounters counters_;
+  /// Guards current_ (pin = shared_ptr copy, publish = swap).
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<Epoch> current_;
+  /// Serializes Mutate callers (one successor epoch built at a time).
+  std::mutex writer_mu_;
 };
 
 }  // namespace currency::serve

@@ -1,0 +1,173 @@
+#include "src/serve/session_manager.h"
+
+#include <utility>
+
+namespace currency::serve {
+
+SessionManager::SessionManager(const ManagerOptions& options)
+    : options_(options), pool_(options.num_threads) {}
+
+Result<std::unique_ptr<SessionManager>> SessionManager::Create(
+    const ManagerOptions& options) {
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("ManagerOptions.num_threads must be >= 1");
+  }
+  return std::unique_ptr<SessionManager>(new SessionManager(options));
+}
+
+Status SessionManager::Register(const std::string& tenant,
+                                core::Specification spec,
+                                const TenantQuotas& quotas) {
+  if (tenant.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  if (quotas.max_active_batches < 1) {
+    return Status::InvalidArgument(
+        "TenantQuotas.max_active_batches must be >= 1");
+  }
+  if (quotas.max_queued_batches < 0) {
+    return Status::InvalidArgument(
+        "TenantQuotas.max_queued_batches must be >= 0");
+  }
+  {
+    // Name check before the (possibly expensive) epoch build; re-checked
+    // at insertion since the build runs unlocked.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tenants_.count(tenant) > 0) {
+      return Status::FailedPrecondition("tenant '" + tenant +
+                                   "' is already registered");
+    }
+  }
+  SessionOptions session_options = options_.session;
+  session_options.pool = &pool_;
+  session_options.num_threads = pool_.num_threads();
+  if (quotas.max_current_instances > 0 &&
+      quotas.max_current_instances < session_options.max_current_instances) {
+    session_options.max_current_instances = quotas.max_current_instances;
+  }
+  ASSIGN_OR_RETURN(std::shared_ptr<CurrencySession> session,
+                   CurrencySession::Create(std::move(spec), session_options));
+  if (quotas.max_components > 0 &&
+      session->num_components() > quotas.max_components) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' exceeds its component quota: " +
+        std::to_string(session->num_components()) + " > " +
+        std::to_string(quotas.max_components));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.try_emplace(
+      tenant, std::make_shared<Tenant>(std::move(session), quotas));
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition("tenant '" + tenant +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status SessionManager::Drop(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.erase(tenant) == 0) {
+    return Status::NotFound("tenant '" + tenant + "' is not registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<SessionManager::Tenant>> SessionManager::Find(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("tenant '" + tenant + "' is not registered");
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<CurrencySession>> SessionManager::Lookup(
+    const std::string& tenant) const {
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> entry, Find(tenant));
+  return entry->session;
+}
+
+std::vector<std::string> SessionManager::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, entry] : tenants_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;  // map iteration order is already sorted
+}
+
+Result<TenantStats> SessionManager::StatsFor(const std::string& tenant) const {
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> entry, Find(tenant));
+  TenantStats stats;
+  stats.active_batches = entry->gate.active();
+  stats.queued_batches = entry->gate.waiting();
+  stats.rejected_batches = entry->rejected.load(std::memory_order_relaxed);
+  stats.session = entry->session->stats();
+  return stats;
+}
+
+void SessionManager::SetAdmittedHookForTesting(
+    std::function<void(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+template <typename Fn>
+auto SessionManager::WithAdmission(const std::string& tenant, const Fn& fn)
+    -> decltype(fn(std::declval<CurrencySession&>())) {
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> entry, Find(tenant));
+  Status admitted = entry->gate.Enter();
+  if (!admitted.ok()) {
+    entry->rejected.fetch_add(1, std::memory_order_relaxed);
+    return admitted;
+  }
+  std::function<void(const std::string&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = hook_;
+  }
+  if (hook) hook(tenant);
+  auto result = fn(*entry->session);
+  entry->gate.Leave();
+  return result;
+}
+
+Result<bool> SessionManager::CpsCheck(const std::string& tenant) {
+  return WithAdmission(
+      tenant, [](CurrencySession& session) { return session.CpsCheck(); });
+}
+
+Result<std::vector<bool>> SessionManager::CopBatch(
+    const std::string& tenant,
+    const std::vector<core::CurrencyOrderQuery>& queries) {
+  return WithAdmission(tenant, [&](CurrencySession& session) {
+    return session.CopBatch(queries);
+  });
+}
+
+Result<std::vector<bool>> SessionManager::DcipBatch(
+    const std::string& tenant, const std::vector<std::string>& relations) {
+  return WithAdmission(tenant, [&](CurrencySession& session) {
+    return session.DcipBatch(relations);
+  });
+}
+
+Result<std::vector<CcqaResponse>> SessionManager::CcqaBatch(
+    const std::string& tenant, const std::vector<CcqaRequest>& requests) {
+  return WithAdmission(tenant, [&](CurrencySession& session) {
+    return session.CcqaBatch(requests);
+  });
+}
+
+Status SessionManager::Mutate(const std::string& tenant,
+                              const std::vector<core::TupleEdit>& edits) {
+  return WithAdmission(tenant, [&](CurrencySession& session) {
+    return session.Mutate(edits);
+  });
+}
+
+}  // namespace currency::serve

@@ -1,0 +1,171 @@
+// serve::SessionManager — many named specifications (tenants) served from
+// one process on one shared thread pool, with per-tenant admission
+// control.
+//
+// Layered on CurrencySession's snapshot isolation (serve/epoch.h): each
+// tenant owns an independent session, every session borrows the manager's
+// pool (SessionOptions::pool), and the pool's multi-region fork-join
+// (exec/thread_pool.h) interleaves concurrently running batches fairly —
+// workers rotate round-robin across open regions one task at a time, so
+// one tenant's 1024-component batch cannot monopolize the workers against
+// another tenant's single-component check.
+//
+// Fairness at the execution layer cannot bound *submission*, so every
+// batch additionally passes the tenant's exec::AdmissionGate: at most
+// `max_active_batches` of a tenant run at once, at most
+// `max_queued_batches` wait for a slot, and over-quota submission is
+// rejected immediately with ResourceExhausted — turned away, never
+// deadlocked (the maxConnections pattern of networked databases: a hard
+// per-client cap with a small accept queue in front of shared workers).
+// Capacity quotas guard registration instead: a specification exceeding
+// the tenant's component-count cap never gets a session, and the tenant's
+// CCQA enumeration budget clamps the session's max_current_instances.
+//
+// Lifecycle: Register builds the tenant's first epoch; Drop unlinks the
+// tenant immediately while in-flight batches finish on the shared_ptr
+// they hold (epochs pin specs, entries pin sessions — the same
+// refcounting idea at both layers).
+
+#ifndef CURRENCY_SRC_SERVE_SESSION_MANAGER_H_
+#define CURRENCY_SRC_SERVE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/exec/semaphore.h"
+#include "src/exec/thread_pool.h"
+#include "src/serve/session.h"
+
+namespace currency::serve {
+
+/// Per-tenant resource bounds, fixed at Register.
+struct TenantQuotas {
+  /// Batches of this tenant running at once (≥ 1; the admission gate
+  /// rejects Register otherwise).
+  int max_active_batches = 2;
+  /// Batches allowed to block waiting for an active slot; one more is
+  /// rejected with ResourceExhausted.
+  int max_queued_batches = 8;
+  /// Reject Register when the specification decomposes into more coupling
+  /// components than this (0 = unlimited).  Components are the unit of
+  /// solver work, so this caps the tenant's standing footprint.
+  int max_components = 0;
+  /// Clamp on the tenant session's CCQA enumeration budget (0 = keep the
+  /// manager's session default).
+  int64_t max_current_instances = 0;
+};
+
+/// Options fixed at manager creation.
+struct ManagerOptions {
+  /// Size of the one pool every tenant shares (counts the calling
+  /// thread).
+  int num_threads = 1;
+  /// Defaults for every tenant's session.  `pool` and `num_threads` in
+  /// here are ignored — the manager always lends its own pool.
+  SessionOptions session;
+};
+
+/// A point-in-time view of one tenant's admission state.
+struct TenantStats {
+  /// Batches admitted and currently running.
+  int active_batches = 0;
+  /// Batches blocked in the admission queue.
+  int queued_batches = 0;
+  /// Batches rejected over quota (monotonic).
+  int64_t rejected_batches = 0;
+  /// The tenant session's counters.
+  SessionStats session;
+};
+
+/// Hosts many named CurrencySessions on one shared pool; see the file
+/// comment.  All methods are thread-safe.
+class SessionManager {
+ public:
+  static Result<std::unique_ptr<SessionManager>> Create(
+      const ManagerOptions& options = {});
+
+  /// Registers `spec` (moved in) under `tenant`, building its first
+  /// epoch.  FailedPrecondition when the name is taken; ResourceExhausted when
+  /// the specification exceeds quotas.max_components; InvalidArgument on
+  /// nonsensical quotas.
+  Status Register(const std::string& tenant, core::Specification spec,
+                  const TenantQuotas& quotas = {});
+
+  /// Unlinks the tenant.  In-flight batches finish normally on the
+  /// session they hold; new submissions get NotFound.
+  Status Drop(const std::string& tenant);
+
+  /// The tenant's session, for direct (admission-exempt) inspection —
+  /// spec(), stats(), num_components().  Batches should go through the
+  /// manager's wrappers below so the tenant's quotas apply.
+  Result<std::shared_ptr<CurrencySession>> Lookup(
+      const std::string& tenant) const;
+
+  /// Registered tenant names, sorted.
+  std::vector<std::string> Tenants() const;
+
+  Result<TenantStats> StatsFor(const std::string& tenant) const;
+
+  /// Admission-controlled batch entry points: each admits the caller
+  /// through the tenant's gate (blocking briefly in the bounded queue,
+  /// ResourceExhausted beyond it), runs the batch on the tenant's
+  /// session, and releases the slot.  Distinct tenants' batches — and up
+  /// to max_active_batches of one tenant's — run concurrently on the
+  /// shared pool.
+  Result<bool> CpsCheck(const std::string& tenant);
+  Result<std::vector<bool>> CopBatch(
+      const std::string& tenant,
+      const std::vector<core::CurrencyOrderQuery>& queries);
+  Result<std::vector<bool>> DcipBatch(
+      const std::string& tenant, const std::vector<std::string>& relations);
+  Result<std::vector<CcqaResponse>> CcqaBatch(
+      const std::string& tenant, const std::vector<CcqaRequest>& requests);
+  /// Mutations pass admission like queries: a tenant's edit stream counts
+  /// against the same in-flight budget.
+  Status Mutate(const std::string& tenant,
+                const std::vector<core::TupleEdit>& edits);
+
+  /// Test seam: when set, runs after a batch is admitted (slot held) and
+  /// before it executes, with the tenant name.  Lets tests hold admission
+  /// slots at a barrier to observe quota enforcement deterministically.
+  void SetAdmittedHookForTesting(
+      std::function<void(const std::string&)> hook);
+
+ private:
+  /// One tenant: session + admission gate, pinned by in-flight batches
+  /// via shared_ptr so Drop never invalidates a running batch.
+  struct Tenant {
+    Tenant(std::shared_ptr<CurrencySession> s, const TenantQuotas& q)
+        : session(std::move(s)),
+          gate(q.max_active_batches, q.max_queued_batches) {}
+    std::shared_ptr<CurrencySession> session;
+    exec::AdmissionGate gate;
+    std::atomic<int64_t> rejected{0};
+  };
+
+  explicit SessionManager(const ManagerOptions& options);
+
+  Result<std::shared_ptr<Tenant>> Find(const std::string& tenant) const;
+
+  /// Admission bracket shared by every wrapper: admit, hook, run, leave.
+  template <typename Fn>
+  auto WithAdmission(const std::string& tenant, const Fn& fn)
+      -> decltype(fn(std::declval<CurrencySession&>()));
+
+  ManagerOptions options_;
+  exec::ThreadPool pool_;
+  mutable std::mutex mu_;  // guards tenants_ and hook_
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+  std::function<void(const std::string&)> hook_;
+};
+
+}  // namespace currency::serve
+
+#endif  // CURRENCY_SRC_SERVE_SESSION_MANAGER_H_
