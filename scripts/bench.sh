@@ -29,6 +29,16 @@
 #    (parity with the serialized baseline is the win), so no speedup
 #    floor is enforced.
 #
+#  * BENCH_wal.json — durability: Mutate latency with and without the
+#    command log's append+fsync (the fsync overhead ratio), and
+#    replay-restart vs snapshot-assisted restart (Open + first CpsCheck
+#    over the same logged history).  bench_recovery self-checks every
+#    recovered state (spec bytes, CPS answer, zero base solves after a
+#    snapshot restore) against the live manager and enforces the >= 3x
+#    snapshot-restart speedup floor.  The JSON carries the 1-CPU caveat:
+#    restart phases run sequentially, but the replay-vs-snapshot ratio
+#    is thread-independent.
+#
 #  * BENCH_sat.json — single-threaded SAT-core throughput on the
 #    1024-entity chained-component CPS/COP workload: propagations/sec,
 #    conflicts/sec, per-phase wall clock, and arena bytes for the
@@ -56,7 +66,7 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
 fi
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_serve bench_chase_routing bench_concurrent_serve \
-           bench_sat_core
+           bench_recovery bench_sat_core
 
 "$build_dir/bench/bench_serve" \
   --entities=1024 --queries=16 --iters=5 \
@@ -72,10 +82,17 @@ cmake --build "$build_dir" -j "$(nproc)" \
   --entities=256 --queries=16 --iters=5 --readers=4 \
   --out="$repo_root/BENCH_mt.json"
 
+"$build_dir/bench/bench_recovery" \
+  --entities=128 --mutations=256 --iters=5 \
+  --require-speedup=3 \
+  --dir="$build_dir/bench_recovery_dirs" \
+  --out="$repo_root/BENCH_wal.json"
+
 "$build_dir/bench/bench_sat_core" \
   --entities=1024 --probes=2048 \
   --require-speedup=1.3 \
   --out="$repo_root/BENCH_sat.json"
 
 echo "bench: wrote $repo_root/BENCH_serve.json, $repo_root/BENCH_chase.json," \
-  "$repo_root/BENCH_mt.json and $repo_root/BENCH_sat.json"
+  "$repo_root/BENCH_mt.json, $repo_root/BENCH_wal.json and" \
+  "$repo_root/BENCH_sat.json"

@@ -17,17 +17,24 @@
 # snapshots, multi-region pool sharing, SessionManager admission),
 # chase_routing_equivalence_test (chase-routed vs forced-SAT answers,
 # including the per-component fixpoint slots confined to pool tasks),
-# and sat_metamorphic_test (arena compaction inside pooled session
-# tasks) — so data races in the decomposed solvers fail CI even on
-# hardware where they never misbehave.
+# sat_metamorphic_test (arena compaction inside pooled session tasks),
+# and wal_recovery_test (the durable commit path: concurrent reader
+# batches racing logged Mutates, where log_mu_ linearizes apply+append
+# against the snapshot-isolated readers) — so data races in the
+# decomposed solvers fail CI even on hardware where they never
+# misbehave.
 #
 # The ASan+UBSan pass (CURRENCY_ASAN, a third build tree) runs the serve
-# and exec suites plus chase_routing_equivalence_test and
-# sat_metamorphic_test: the session layer moves encoders AND chase
-# fixpoints between epochs and hands borrowed pools/encoders across
-# threads, and the SAT core's garbage collector relocates every clause
-# and rewrites watcher/reason references in place — exactly the lifetime
-# traffic AddressSanitizer is built to police.
+# and exec suites plus chase_routing_equivalence_test,
+# sat_metamorphic_test, wire_test and wal_recovery_test: the session
+# layer moves encoders AND chase fixpoints between epochs and hands
+# borrowed pools/encoders across threads, the SAT core's garbage
+# collector relocates every clause and rewrites watcher/reason
+# references in place, and the wire/WAL parsers walk length-prefixed
+# frames of truncated and bit-flipped buffers — exactly the lifetime and
+# bounds traffic the sanitizers are built to police.  (WAL tests write
+# their log directories under the build tree's cwd — wal_test_dirs/,
+# gitignored.)
 #
 # Usage: scripts/check.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -50,7 +57,8 @@ cmake -B "$tsan_dir" -S . \
 cmake --build "$tsan_dir" -j "$(nproc)" \
   --target exec_test parallel_equivalence_test serve_test \
            session_equivalence_test concurrent_session_test \
-           chase_routing_equivalence_test sat_metamorphic_test
+           chase_routing_equivalence_test sat_metamorphic_test \
+           wire_test wal_recovery_test
 "$tsan_dir/tests/exec_test"
 "$tsan_dir/tests/parallel_equivalence_test"
 "$tsan_dir/tests/serve_test"
@@ -58,6 +66,7 @@ cmake --build "$tsan_dir" -j "$(nproc)" \
 "$tsan_dir/tests/concurrent_session_test"
 "$tsan_dir/tests/chase_routing_equivalence_test"
 "$tsan_dir/tests/sat_metamorphic_test"
+(cd "$tsan_dir/tests" && ./wire_test && ./wal_recovery_test)
 
 asan_dir="${build_dir}-asan"
 rm -rf "$asan_dir"
@@ -68,10 +77,11 @@ cmake -B "$asan_dir" -S . \
 cmake --build "$asan_dir" -j "$(nproc)" \
   --target exec_test serve_test session_equivalence_test \
            concurrent_session_test chase_routing_equivalence_test \
-           sat_metamorphic_test
+           sat_metamorphic_test wire_test wal_recovery_test
 "$asan_dir/tests/exec_test"
 "$asan_dir/tests/serve_test"
 "$asan_dir/tests/session_equivalence_test"
 "$asan_dir/tests/concurrent_session_test"
 "$asan_dir/tests/chase_routing_equivalence_test"
 "$asan_dir/tests/sat_metamorphic_test"
+(cd "$asan_dir/tests" && ./wire_test && ./wal_recovery_test)

@@ -34,6 +34,14 @@ struct TupleEdit {
   TupleId tuple = -1;
   AttrIndex attr = -1;
   Value new_value;
+
+  /// Field-wise equality (the wire round-trip tests compare edit batches
+  /// with this; see src/wire/spec.h).
+  bool operator==(const TupleEdit& other) const {
+    return instance == other.instance && tuple == other.tuple &&
+           attr == other.attr && new_value == other.new_value;
+  }
+  bool operator!=(const TupleEdit& other) const { return !(*this == other); }
 };
 
 /// A specification S = ({D_t,i}, {Σ_i}, {ρ_(i,j)}).  Value-semantic: copies

@@ -1,0 +1,126 @@
+#include "src/serve/command.h"
+
+#include "src/wire/spec.h"
+#include "src/wire/wire.h"
+
+namespace currency::serve {
+
+namespace {
+
+constexpr char kCommandMagic[4] = {'C', 'C', 'M', 'D'};
+constexpr uint32_t kCommandVersion = 1;
+constexpr char kSnapshotMagic[4] = {'C', 'S', 'N', 'P'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+void AppendQuotas(const TenantQuotas& quotas, wire::Writer* w) {
+  w->I32(quotas.max_active_batches);
+  w->I32(quotas.max_queued_batches);
+  w->I32(quotas.max_components);
+  w->I64(quotas.max_current_instances);
+}
+
+Result<TenantQuotas> ReadQuotas(wire::Reader* r) {
+  TenantQuotas quotas;
+  ASSIGN_OR_RETURN(quotas.max_active_batches, r->I32());
+  ASSIGN_OR_RETURN(quotas.max_queued_batches, r->I32());
+  ASSIGN_OR_RETURN(quotas.max_components, r->I32());
+  ASSIGN_OR_RETURN(quotas.max_current_instances, r->I64());
+  return quotas;
+}
+
+}  // namespace
+
+std::string EncodeCommand(const Command& command) {
+  wire::Writer w;
+  w.Magic(kCommandMagic, kCommandVersion);
+  w.U8(static_cast<uint8_t>(command.type));
+  w.Str(command.tenant);
+  switch (command.type) {
+    case Command::Type::kRegister:
+      AppendQuotas(command.quotas, &w);
+      w.Str(wire::SerializeSpecification(command.spec));
+      break;
+    case Command::Type::kMutate:
+      w.Str(wire::SerializeTupleEdits(command.edits));
+      break;
+    case Command::Type::kDrop:
+      break;
+  }
+  return w.Take();
+}
+
+Result<Command> DecodeCommand(std::string_view bytes) {
+  wire::Reader r(bytes);
+  RETURN_IF_ERROR(r.Magic(kCommandMagic, kCommandVersion));
+  ASSIGN_OR_RETURN(uint8_t type, r.U8());
+  Command command;
+  ASSIGN_OR_RETURN(command.tenant, r.Str());
+  switch (type) {
+    case static_cast<uint8_t>(Command::Type::kRegister): {
+      command.type = Command::Type::kRegister;
+      ASSIGN_OR_RETURN(command.quotas, ReadQuotas(&r));
+      ASSIGN_OR_RETURN(std::string spec_wire, r.Str());
+      ASSIGN_OR_RETURN(command.spec, wire::ParseSpecification(spec_wire));
+      break;
+    }
+    case static_cast<uint8_t>(Command::Type::kMutate): {
+      command.type = Command::Type::kMutate;
+      ASSIGN_OR_RETURN(std::string edits_wire, r.Str());
+      ASSIGN_OR_RETURN(command.edits, wire::ParseTupleEdits(edits_wire));
+      break;
+    }
+    case static_cast<uint8_t>(Command::Type::kDrop):
+      command.type = Command::Type::kDrop;
+      break;
+    default:
+      return Status::InvalidArgument("CCMD: unknown command type " +
+                                     std::to_string(type));
+  }
+  RETURN_IF_ERROR(r.ExpectEnd());
+  return command;
+}
+
+std::string EncodeSnapshot(const std::vector<TenantSnapshot>& tenants) {
+  wire::Writer w;
+  w.Magic(kSnapshotMagic, kSnapshotVersion);
+  w.U32(static_cast<uint32_t>(tenants.size()));
+  for (const TenantSnapshot& t : tenants) {
+    w.Str(t.tenant);
+    AppendQuotas(t.quotas, &w);
+    w.Str(t.spec_wire);
+    w.U32(static_cast<uint32_t>(t.verdicts.size()));
+    for (const auto& [fingerprint, sat] : t.verdicts) {
+      w.U64(fingerprint);
+      w.U8(sat ? 1 : 0);
+    }
+  }
+  return w.Take();
+}
+
+Result<std::vector<TenantSnapshot>> DecodeSnapshot(std::string_view bytes) {
+  wire::Reader r(bytes);
+  RETURN_IF_ERROR(r.Magic(kSnapshotMagic, kSnapshotVersion));
+  ASSIGN_OR_RETURN(uint32_t num_tenants, r.U32());
+  RETURN_IF_ERROR(r.CheckCount(num_tenants, /*min_bytes_per_item=*/28));
+  std::vector<TenantSnapshot> tenants;
+  tenants.reserve(num_tenants);
+  for (uint32_t i = 0; i < num_tenants; ++i) {
+    TenantSnapshot t;
+    ASSIGN_OR_RETURN(t.tenant, r.Str());
+    ASSIGN_OR_RETURN(t.quotas, ReadQuotas(&r));
+    ASSIGN_OR_RETURN(t.spec_wire, r.Str());
+    ASSIGN_OR_RETURN(uint32_t num_verdicts, r.U32());
+    RETURN_IF_ERROR(r.CheckCount(num_verdicts, /*min_bytes_per_item=*/9));
+    t.verdicts.reserve(num_verdicts);
+    for (uint32_t v = 0; v < num_verdicts; ++v) {
+      ASSIGN_OR_RETURN(uint64_t fingerprint, r.U64());
+      ASSIGN_OR_RETURN(uint8_t sat, r.U8());
+      t.verdicts.emplace_back(fingerprint, sat != 0);
+    }
+    tenants.push_back(std::move(t));
+  }
+  RETURN_IF_ERROR(r.ExpectEnd());
+  return tenants;
+}
+
+}  // namespace currency::serve

@@ -170,4 +170,8 @@ void Epoch::AdoptSat(int c, bool sat) {
   slots_[c].sat.store(sat ? 1 : 0, std::memory_order_release);
 }
 
+int Epoch::CachedSat(int c) const {
+  return slots_[c].sat.load(std::memory_order_acquire);
+}
+
 }  // namespace currency::serve

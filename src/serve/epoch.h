@@ -144,13 +144,21 @@ class Epoch {
   /// skipped (try_lock) and chase fixpoints are shared, not moved.
   std::map<uint64_t, Harvested> Harvest();
 
-  /// Pre-publication adoption hooks, called only by Mutate on the not-
-  /// yet-visible successor (no synchronization needed).  The caller
-  /// guarantees the fingerprint match; AdoptEncoder rebinds the encoder
-  /// to this epoch's specification copy.
+  /// Adoption hooks.  AdoptEncoder and AdoptChase are called only by
+  /// Mutate on the not-yet-visible successor (no synchronization needed);
+  /// the caller guarantees the fingerprint match, and AdoptEncoder
+  /// rebinds the encoder to this epoch's specification copy.  AdoptSat is
+  /// additionally safe on a published epoch (it is a release store into
+  /// the atomic slot) — recovery uses that to seed snapshot verdicts into
+  /// a freshly built epoch.
   void AdoptEncoder(int c, std::unique_ptr<core::Encoder> encoder);
   void AdoptChase(int c, std::shared_ptr<const core::ComponentChase> chase);
   void AdoptSat(int c, bool sat);
+
+  /// The cached base-satisfiability bit of component `c`: -1 unknown,
+  /// 0 unsat, 1 sat.  Lock-free; pairs with AdoptSat / SolveComponentBase
+  /// publication.  Warm snapshots read solved verdicts through this.
+  int CachedSat(int c) const;
 
  private:
   /// One component's cache slot; see the file comment for the roles.

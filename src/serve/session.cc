@@ -9,6 +9,7 @@
 #include "src/core/deterministic.h"
 #include "src/query/classify.h"
 #include "src/sat/solver.h"
+#include "src/wire/spec.h"
 
 namespace currency::serve {
 
@@ -395,6 +396,38 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
   counters_.merged_builds.fetch_add(merged.load(std::memory_order_relaxed),
                                     std::memory_order_relaxed);
   return out;
+}
+
+void CurrencySession::ExportWarmState(
+    std::string* spec_wire,
+    std::vector<std::pair<uint64_t, bool>>* verdicts) const {
+  // One pin covers both reads: the spec bytes and the verdicts describe
+  // the same epoch even if a Mutate publishes a successor mid-call.
+  std::shared_ptr<Epoch> epoch = Pin();
+  *spec_wire = wire::SerializeSpecification(epoch->spec());
+  const int n = epoch->num_components();
+  for (int c = 0; c < n; ++c) {
+    const int sat = epoch->CachedSat(c);
+    if (sat < 0) continue;  // not yet solved — nothing worth persisting
+    verdicts->emplace_back(epoch->decomposed().component_fingerprint(c),
+                           sat == 1);
+  }
+}
+
+int CurrencySession::AdoptSolvedVerdicts(
+    const std::vector<std::pair<uint64_t, bool>>& verdicts) {
+  std::shared_ptr<Epoch> epoch = Pin();
+  std::map<uint64_t, bool> by_fingerprint(verdicts.begin(), verdicts.end());
+  const int n = epoch->num_components();
+  int adopted = 0;
+  for (int c = 0; c < n; ++c) {
+    auto it =
+        by_fingerprint.find(epoch->decomposed().component_fingerprint(c));
+    if (it == by_fingerprint.end()) continue;
+    epoch->AdoptSat(c, it->second);
+    ++adopted;
+  }
+  return adopted;
 }
 
 Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {

@@ -59,6 +59,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -196,6 +197,24 @@ class CurrencySession {
   /// run in parallel without sharing mutable solver state.
   Result<std::vector<CcqaResponse>> CcqaBatch(
       const std::vector<CcqaRequest>& requests);
+
+  /// Warm-snapshot export for the durability layer (serve/command.h):
+  /// serializes the current epoch's specification into `*spec_wire`
+  /// ("CSPC" wire format) and appends one (content fingerprint,
+  /// base-satisfiable) pair to `*verdicts` for every component whose base
+  /// solve has completed.  Both come from ONE pinned epoch, so the pair
+  /// is mutually consistent even under concurrent Mutate.
+  void ExportWarmState(std::string* spec_wire,
+                       std::vector<std::pair<uint64_t, bool>>* verdicts) const;
+
+  /// Recovery counterpart: seeds cached base-solve verdicts into the
+  /// current epoch for every component whose content fingerprint matches
+  /// an entry.  Fingerprints cover the component's full content (tuples,
+  /// orders, grounded constraint texts, coupling copy buckets), so a
+  /// match means the verdict is exactly what a fresh solve would return;
+  /// unmatched entries are ignored.  Returns the number adopted.
+  int AdoptSolvedVerdicts(
+      const std::vector<std::pair<uint64_t, bool>>& verdicts);
 
   /// Applies `edits` to a copy of the current epoch's specification (see
   /// Specification::ApplyTupleEdits for the validated invariants; on

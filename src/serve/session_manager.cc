@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/wire/spec.h"
+
 namespace currency::serve {
 
 SessionManager::SessionManager(const ManagerOptions& options)
@@ -15,61 +17,195 @@ Result<std::unique_ptr<SessionManager>> SessionManager::Create(
   return std::unique_ptr<SessionManager>(new SessionManager(options));
 }
 
-Status SessionManager::Register(const std::string& tenant,
-                                core::Specification spec,
-                                const TenantQuotas& quotas) {
-  if (tenant.empty()) {
-    return Status::InvalidArgument("tenant name must be non-empty");
-  }
-  if (quotas.max_active_batches < 1) {
-    return Status::InvalidArgument(
-        "TenantQuotas.max_active_batches must be >= 1");
-  }
-  if (quotas.max_queued_batches < 0) {
-    return Status::InvalidArgument(
-        "TenantQuotas.max_queued_batches must be >= 0");
-  }
-  {
-    // Name check before the (possibly expensive) epoch build; re-checked
-    // at insertion since the build runs unlocked.
-    std::lock_guard<std::mutex> lock(mu_);
-    if (tenants_.count(tenant) > 0) {
-      return Status::FailedPrecondition("tenant '" + tenant +
-                                   "' is already registered");
+Result<std::unique_ptr<SessionManager>> SessionManager::Open(
+    const std::string& dir, const ManagerOptions& options) {
+  ASSIGN_OR_RETURN(std::unique_ptr<SessionManager> manager, Create(options));
+  wal::WalOptions wal_options;
+  wal_options.segment_bytes = options.segment_bytes;
+  ASSIGN_OR_RETURN(manager->wal_, wal::LogWriter::Open(dir, wal_options));
+  wal::RecoveredLog recovered = manager->wal_->TakeRecovered();
+  // Phase 1: the warm snapshot re-registers every tenant (same choke
+  // point as a live Register) and seeds its solved verdicts — components
+  // whose content fingerprint still matches skip their base solve.
+  if (recovered.has_snapshot) {
+    ASSIGN_OR_RETURN(std::vector<TenantSnapshot> tenants,
+                     DecodeSnapshot(recovered.snapshot_payload));
+    for (TenantSnapshot& t : tenants) {
+      Command command;
+      command.type = Command::Type::kRegister;
+      command.tenant = std::move(t.tenant);
+      command.quotas = t.quotas;
+      ASSIGN_OR_RETURN(command.spec, wire::ParseSpecification(t.spec_wire));
+      const std::string name = command.tenant;
+      Status applied = manager->ApplyCommand(std::move(command));
+      if (!applied.ok()) {
+        return Status::Internal("wal snapshot restore: tenant '" + name +
+                                "': " + applied.ToString());
+      }
+      ASSIGN_OR_RETURN(std::shared_ptr<CurrencySession> session,
+                       manager->Lookup(name));
+      session->AdoptSolvedVerdicts(t.verdicts);
     }
   }
-  SessionOptions session_options = options_.session;
-  session_options.pool = &pool_;
-  session_options.num_threads = pool_.num_threads();
-  if (quotas.max_current_instances > 0 &&
-      quotas.max_current_instances < session_options.max_current_instances) {
-    session_options.max_current_instances = quotas.max_current_instances;
+  // Phase 2: replay the tail of accepted commands in log order.  These
+  // all applied cleanly once, so a failure here means the log and the
+  // snapshot disagree — surface it, don't serve half a recovery.
+  for (wal::LogRecord& record : recovered.records) {
+    ASSIGN_OR_RETURN(Command command, DecodeCommand(record.payload));
+    Status applied = manager->ApplyCommand(std::move(command));
+    if (!applied.ok()) {
+      return Status::Internal(
+          "wal replay: record " + std::to_string(record.seq) +
+          " failed to apply: " + applied.ToString());
+    }
   }
-  ASSIGN_OR_RETURN(std::shared_ptr<CurrencySession> session,
-                   CurrencySession::Create(std::move(spec), session_options));
-  if (quotas.max_components > 0 &&
-      session->num_components() > quotas.max_components) {
-    return Status::ResourceExhausted(
-        "tenant '" + tenant + "' exceeds its component quota: " +
-        std::to_string(session->num_components()) + " > " +
-        std::to_string(quotas.max_components));
+  return manager;
+}
+
+Status SessionManager::ApplyCommand(Command command) {
+  switch (command.type) {
+    case Command::Type::kRegister: {
+      const std::string& tenant = command.tenant;
+      const TenantQuotas& quotas = command.quotas;
+      if (tenant.empty()) {
+        return Status::InvalidArgument("tenant name must be non-empty");
+      }
+      if (quotas.max_active_batches < 1) {
+        return Status::InvalidArgument(
+            "TenantQuotas.max_active_batches must be >= 1");
+      }
+      if (quotas.max_queued_batches < 0) {
+        return Status::InvalidArgument(
+            "TenantQuotas.max_queued_batches must be >= 0");
+      }
+      {
+        // Name check before the (possibly expensive) epoch build;
+        // re-checked at insertion since the build runs unlocked.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (tenants_.count(tenant) > 0) {
+          return Status::FailedPrecondition("tenant '" + tenant +
+                                       "' is already registered");
+        }
+      }
+      SessionOptions session_options = options_.session;
+      session_options.pool = &pool_;
+      session_options.num_threads = pool_.num_threads();
+      if (quotas.max_current_instances > 0 &&
+          quotas.max_current_instances <
+              session_options.max_current_instances) {
+        session_options.max_current_instances = quotas.max_current_instances;
+      }
+      ASSIGN_OR_RETURN(
+          std::shared_ptr<CurrencySession> session,
+          CurrencySession::Create(std::move(command.spec), session_options));
+      if (quotas.max_components > 0 &&
+          session->num_components() > quotas.max_components) {
+        return Status::ResourceExhausted(
+            "tenant '" + tenant + "' exceeds its component quota: " +
+            std::to_string(session->num_components()) + " > " +
+            std::to_string(quotas.max_components));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = tenants_.try_emplace(
+          tenant, std::make_shared<Tenant>(std::move(session), quotas));
+      (void)it;
+      if (!inserted) {
+        return Status::FailedPrecondition("tenant '" + tenant +
+                                     "' is already registered");
+      }
+      return Status::OK();
+    }
+    case Command::Type::kMutate: {
+      ASSIGN_OR_RETURN(std::shared_ptr<Tenant> entry, Find(command.tenant));
+      return entry->session->Mutate(command.edits);
+    }
+    case Command::Type::kDrop: {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tenants_.erase(command.tenant) == 0) {
+        return Status::NotFound("tenant '" + command.tenant +
+                                "' is not registered");
+      }
+      return Status::OK();
+    }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = tenants_.try_emplace(
-      tenant, std::make_shared<Tenant>(std::move(session), quotas));
-  (void)it;
-  if (!inserted) {
-    return Status::FailedPrecondition("tenant '" + tenant +
-                                 "' is already registered");
+  return Status::Internal("unknown command type");
+}
+
+Status SessionManager::Commit(Command command) {
+  // One mutex across apply + append: the log's record order is exactly
+  // the order the state transitions happened in, which is what makes
+  // replay reproduce the state.
+  std::lock_guard<std::mutex> lock(log_mu_);
+  std::string payload;
+  if (wal_ != nullptr) {
+    // Encode before apply — apply consumes the command's spec/edits.
+    payload = EncodeCommand(command);
+  }
+  RETURN_IF_ERROR(ApplyCommand(std::move(command)));
+  if (wal_ != nullptr) {
+    // Apply-then-log: only accepted commands reach the log.  If the
+    // append or fsync fails the in-memory state is ahead of the log and
+    // the caller gets the error — the command was NOT acknowledged, so
+    // losing it on a crash is within contract.
+    RETURN_IF_ERROR(wal_->Append(payload).status());
+    RETURN_IF_ERROR(wal_->Sync());
+    if (options_.snapshot_every > 0 &&
+        ++commands_since_snapshot_ >= options_.snapshot_every) {
+      RETURN_IF_ERROR(WriteSnapshotLocked());
+    }
   }
   return Status::OK();
 }
 
+Status SessionManager::Register(const std::string& tenant,
+                                core::Specification spec,
+                                const TenantQuotas& quotas) {
+  Command command;
+  command.type = Command::Type::kRegister;
+  command.tenant = tenant;
+  command.quotas = quotas;
+  command.spec = std::move(spec);
+  return Commit(std::move(command));
+}
+
 Status SessionManager::Drop(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (tenants_.erase(tenant) == 0) {
-    return Status::NotFound("tenant '" + tenant + "' is not registered");
+  Command command;
+  command.type = Command::Type::kDrop;
+  command.tenant = tenant;
+  return Commit(std::move(command));
+}
+
+Status SessionManager::Snapshot() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Snapshot() requires a durable manager (Open, not Create)");
   }
+  return WriteSnapshotLocked();
+}
+
+Status SessionManager::WriteSnapshotLocked() {
+  // log_mu_ is held: no logged mutation can interleave, so the exported
+  // state corresponds exactly to the log position last_seq().
+  std::vector<std::pair<std::string, std::shared_ptr<Tenant>>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(tenants_.size());
+    for (const auto& [name, entry] : tenants_) {
+      entries.emplace_back(name, entry);
+    }
+  }
+  std::vector<TenantSnapshot> tenants;
+  tenants.reserve(entries.size());
+  for (auto& [name, entry] : entries) {
+    TenantSnapshot t;
+    t.tenant = name;
+    t.quotas = entry->quotas;
+    entry->session->ExportWarmState(&t.spec_wire, &t.verdicts);
+    tenants.push_back(std::move(t));
+  }
+  RETURN_IF_ERROR(wal_->WriteSnapshot(EncodeSnapshot(tenants)));
+  commands_since_snapshot_ = 0;
   return Status::OK();
 }
 
@@ -165,8 +301,15 @@ Result<std::vector<CcqaResponse>> SessionManager::CcqaBatch(
 
 Status SessionManager::Mutate(const std::string& tenant,
                               const std::vector<core::TupleEdit>& edits) {
-  return WithAdmission(tenant, [&](CurrencySession& session) {
-    return session.Mutate(edits);
+  // Admission first (quota bracket), then the durable commit: the
+  // admission slot is held across apply + append + fsync, so a tenant's
+  // in-flight budget also bounds its outstanding log work.
+  return WithAdmission(tenant, [&](CurrencySession&) {
+    Command command;
+    command.type = Command::Type::kMutate;
+    command.tenant = tenant;
+    command.edits = edits;
+    return Commit(std::move(command));
   });
 }
 

@@ -25,6 +25,30 @@
 // tenant immediately while in-flight batches finish on the shared_ptr
 // they hold (epochs pin specs, entries pin sessions — the same
 // refcounting idea at both layers).
+//
+// Durability: every serving-state mutation — Register, Mutate, Drop —
+// is a serializable Command (serve/command.h) applied through the single
+// ApplyCommand choke point.  A manager created with Open(dir) addition-
+// ally appends each command to a write-ahead log (src/wal) *after* it
+// applies and *before* the caller sees success:
+//
+//   apply (validate) → append → fsync → acknowledge
+//
+// Apply-then-log means a REJECTED mutation is never logged (the log is
+// exactly the accepted history, so replay cannot fail), and fsync-
+// before-acknowledge means every acknowledged mutation survives a crash
+// — a crash between apply and fsync can lose only commands whose callers
+// never got an OK.  One commit mutex held across apply + append makes
+// log order equal apply order, so Open(dir) after a crash rebuilds the
+// exact serving state by replaying: decode each command, push it through
+// the same ApplyCommand the live requests used.  Periodic warm snapshots
+// (spec bytes + solved component verdicts keyed by content fingerprint)
+// bound replay length and let a restart skip re-solving unchanged
+// components.  Reads (query batches) are never logged.
+//
+// Caveat, enforced by convention not the compiler: mutating a session
+// obtained from Lookup() directly bypasses the log.  Lookup is for
+// inspection and queries; route every mutation through the manager.
 
 #ifndef CURRENCY_SRC_SERVE_SESSION_MANAGER_H_
 #define CURRENCY_SRC_SERVE_SESSION_MANAGER_H_
@@ -41,28 +65,14 @@
 #include "src/common/result.h"
 #include "src/exec/semaphore.h"
 #include "src/exec/thread_pool.h"
+#include "src/serve/command.h"
 #include "src/serve/session.h"
+#include "src/wal/log.h"
 
 namespace currency::serve {
 
-/// Per-tenant resource bounds, fixed at Register.
-struct TenantQuotas {
-  /// Batches of this tenant running at once (≥ 1; the admission gate
-  /// rejects Register otherwise).
-  int max_active_batches = 2;
-  /// Batches allowed to block waiting for an active slot; one more is
-  /// rejected with ResourceExhausted.
-  int max_queued_batches = 8;
-  /// Reject Register when the specification decomposes into more coupling
-  /// components than this (0 = unlimited).  Components are the unit of
-  /// solver work, so this caps the tenant's standing footprint.
-  int max_components = 0;
-  /// Clamp on the tenant session's CCQA enumeration budget (0 = keep the
-  /// manager's session default).
-  int64_t max_current_instances = 0;
-};
-
-/// Options fixed at manager creation.
+/// Options fixed at manager creation.  (TenantQuotas lives in
+/// serve/command.h — it rides inside the logged kRegister command.)
 struct ManagerOptions {
   /// Size of the one pool every tenant shares (counts the calling
   /// thread).
@@ -70,6 +80,12 @@ struct ManagerOptions {
   /// Defaults for every tenant's session.  `pool` and `num_threads` in
   /// here are ignored — the manager always lends its own pool.
   SessionOptions session;
+  /// Durable managers only: write a warm snapshot automatically after
+  /// this many logged commands (0 = only on explicit Snapshot()).
+  /// Snapshots bound replay length and prune covered log segments.
+  int64_t snapshot_every = 0;
+  /// Durable managers only: log segment rotation threshold in bytes.
+  uint64_t segment_bytes = 8u << 20;
 };
 
 /// A point-in-time view of one tenant's admission state.
@@ -88,8 +104,20 @@ struct TenantStats {
 /// comment.  All methods are thread-safe.
 class SessionManager {
  public:
+  /// An in-memory (non-durable) manager: no log, no recovery.
   static Result<std::unique_ptr<SessionManager>> Create(
       const ManagerOptions& options = {});
+
+  /// A durable manager rooted at log directory `dir` (created when
+  /// absent).  Recovery runs before this returns: the newest warm
+  /// snapshot re-registers every tenant and seeds its solved component
+  /// verdicts by content fingerprint, then the remaining log records
+  /// replay through ApplyCommand in log order.  A torn or corrupt log
+  /// tail is truncated (those commands were never acknowledged); a
+  /// record that decodes but fails to apply is an Internal error —
+  /// accepted history must replay.
+  static Result<std::unique_ptr<SessionManager>> Open(
+      const std::string& dir, const ManagerOptions& options = {});
 
   /// Registers `spec` (moved in) under `tenant`, building its first
   /// epoch.  FailedPrecondition when the name is taken; ResourceExhausted when
@@ -128,9 +156,15 @@ class SessionManager {
   Result<std::vector<CcqaResponse>> CcqaBatch(
       const std::string& tenant, const std::vector<CcqaRequest>& requests);
   /// Mutations pass admission like queries: a tenant's edit stream counts
-  /// against the same in-flight budget.
+  /// against the same in-flight budget.  On a durable manager, OK means
+  /// the edit batch is applied AND fsynced to the log.
   Status Mutate(const std::string& tenant,
                 const std::vector<core::TupleEdit>& edits);
+
+  /// Durable managers: writes a warm snapshot of every tenant (full spec
+  /// bytes + solved component verdicts) and prunes covered log segments.
+  /// FailedPrecondition on an in-memory manager.
+  Status Snapshot();
 
   /// Test seam: when set, runs after a batch is admitted (slot held) and
   /// before it executes, with the tenant name.  Lets tests hold admission
@@ -140,12 +174,15 @@ class SessionManager {
 
  private:
   /// One tenant: session + admission gate, pinned by in-flight batches
-  /// via shared_ptr so Drop never invalidates a running batch.
+  /// via shared_ptr so Drop never invalidates a running batch.  The
+  /// quotas are kept so snapshots can re-encode the registration.
   struct Tenant {
     Tenant(std::shared_ptr<CurrencySession> s, const TenantQuotas& q)
         : session(std::move(s)),
+          quotas(q),
           gate(q.max_active_batches, q.max_queued_batches) {}
     std::shared_ptr<CurrencySession> session;
+    TenantQuotas quotas;
     exec::AdmissionGate gate;
     std::atomic<int64_t> rejected{0};
   };
@@ -159,11 +196,30 @@ class SessionManager {
   auto WithAdmission(const std::string& tenant, const Fn& fn)
       -> decltype(fn(std::declval<CurrencySession&>()));
 
+  /// THE choke point: every serving-state mutation — live, replayed or
+  /// snapshot-restored — is one of these state transitions.  Pure apply:
+  /// validates and mutates in-memory state, never touches the log.
+  Status ApplyCommand(Command command);
+
+  /// The durable bracket every public mutation routes through: under
+  /// log_mu_, encode (durable managers), ApplyCommand, append + fsync,
+  /// auto-snapshot when due.  Commands rejected by apply are not logged.
+  Status Commit(Command command);
+
+  /// Snapshot body; requires log_mu_ (and wal_ non-null).
+  Status WriteSnapshotLocked();
+
   ManagerOptions options_;
   exec::ThreadPool pool_;
   mutable std::mutex mu_;  // guards tenants_ and hook_
   std::map<std::string, std::shared_ptr<Tenant>> tenants_;
   std::function<void(const std::string&)> hook_;
+  /// Null for in-memory managers.  log_mu_ linearizes apply+append so
+  /// the log's record order IS the apply order; it nests outside mu_
+  /// (Commit → ApplyCommand → Find) and the sessions' writer locks.
+  std::mutex log_mu_;
+  std::unique_ptr<wal::LogWriter> wal_;
+  int64_t commands_since_snapshot_ = 0;  // guarded by log_mu_
 };
 
 }  // namespace currency::serve

@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// framing every write-ahead-log record and snapshot file (src/wal/log.h).
+//
+// Self-contained table-driven implementation: the container must not need
+// zlib.  The incremental form (seed = previous crc) lets a record's
+// header and payload be checksummed without concatenating buffers.
+
+#ifndef CURRENCY_SRC_WAL_CRC32_H_
+#define CURRENCY_SRC_WAL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace currency::wal {
+
+/// CRC-32 of `data`; chain blocks by passing the previous result as
+/// `seed` (the standard pre/post inversion is handled internally, so
+/// Crc32(b, Crc32(a)) == Crc32(a+b)).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace currency::wal
+
+#endif  // CURRENCY_SRC_WAL_CRC32_H_

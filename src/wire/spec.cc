@@ -1,0 +1,299 @@
+#include "src/wire/spec.h"
+
+#include <utility>
+
+#include "src/wire/wire.h"
+
+namespace currency::wire {
+
+namespace {
+
+constexpr char kSpecMagic[5] = "CSPC";
+constexpr uint32_t kSpecVersion = 1;
+constexpr char kEditsMagic[5] = "CEDT";
+constexpr uint32_t kEditsVersion = 1;
+
+void PutOperand(Writer* w, const constraints::Operand& op) {
+  w->U8(op.is_const ? 1 : 0);
+  if (op.is_const) {
+    w->Val(op.constant);
+  } else {
+    w->I32(op.tuple_var);
+    w->I32(op.attr);
+  }
+}
+
+Result<constraints::Operand> GetOperand(Reader* r) {
+  ASSIGN_OR_RETURN(uint8_t is_const, r->U8());
+  if (is_const) {
+    ASSIGN_OR_RETURN(Value v, r->Val());
+    return constraints::Operand::Const(std::move(v));
+  }
+  ASSIGN_OR_RETURN(int32_t tuple_var, r->I32());
+  ASSIGN_OR_RETURN(int32_t attr, r->I32());
+  return constraints::Operand::Attr(tuple_var, attr);
+}
+
+void PutOrderAtom(Writer* w, const constraints::OrderAtom& a) {
+  w->I32(a.before);
+  w->I32(a.after);
+  w->I32(a.attr);
+}
+
+Result<constraints::OrderAtom> GetOrderAtom(Reader* r) {
+  constraints::OrderAtom a;
+  ASSIGN_OR_RETURN(a.before, r->I32());
+  ASSIGN_OR_RETURN(a.after, r->I32());
+  ASSIGN_OR_RETURN(a.attr, r->I32());
+  return a;
+}
+
+void PutConstraint(Writer* w, const constraints::DenialConstraint& dc) {
+  w->U32(static_cast<uint32_t>(dc.num_tuple_vars()));
+  w->U32(static_cast<uint32_t>(dc.compares().size()));
+  for (const constraints::ComparePredicate& cp : dc.compares()) {
+    w->U8(static_cast<uint8_t>(cp.op));
+    PutOperand(w, cp.lhs);
+    PutOperand(w, cp.rhs);
+  }
+  w->U32(static_cast<uint32_t>(dc.order_premises().size()));
+  for (const constraints::OrderAtom& a : dc.order_premises()) {
+    PutOrderAtom(w, a);
+  }
+  PutOrderAtom(w, dc.conclusion());
+}
+
+Result<constraints::DenialConstraint> GetConstraint(Reader* r,
+                                                    const Schema& schema) {
+  ASSIGN_OR_RETURN(uint32_t num_vars, r->U32());
+  ASSIGN_OR_RETURN(uint32_t ncompares, r->U32());
+  RETURN_IF_ERROR(r->CheckCount(ncompares, /*min op+2 operand tags*/ 3));
+  std::vector<constraints::ComparePredicate> compares;
+  compares.reserve(ncompares);
+  for (uint32_t k = 0; k < ncompares; ++k) {
+    constraints::ComparePredicate cp;
+    ASSIGN_OR_RETURN(uint8_t op, r->U8());
+    if (op > static_cast<uint8_t>(CmpOp::kGe)) {
+      return Status::InvalidArgument("wire: unknown compare op " +
+                                     std::to_string(op));
+    }
+    cp.op = static_cast<CmpOp>(op);
+    ASSIGN_OR_RETURN(cp.lhs, GetOperand(r));
+    ASSIGN_OR_RETURN(cp.rhs, GetOperand(r));
+    compares.push_back(std::move(cp));
+  }
+  ASSIGN_OR_RETURN(uint32_t npremises, r->U32());
+  RETURN_IF_ERROR(r->CheckCount(npremises, 12));
+  std::vector<constraints::OrderAtom> premises;
+  premises.reserve(npremises);
+  for (uint32_t k = 0; k < npremises; ++k) {
+    ASSIGN_OR_RETURN(constraints::OrderAtom a, GetOrderAtom(r));
+    premises.push_back(a);
+  }
+  ASSIGN_OR_RETURN(constraints::OrderAtom conclusion, GetOrderAtom(r));
+  // Make re-validates every index against the schema, so a corrupt buffer
+  // cannot install an out-of-range constraint.
+  return constraints::DenialConstraint::Make(schema,
+                                             static_cast<int>(num_vars),
+                                             std::move(compares),
+                                             std::move(premises), conclusion);
+}
+
+}  // namespace
+
+void AppendSpecification(const core::Specification& spec, std::string* out) {
+  Writer w;
+  w.Magic(kSpecMagic, kSpecVersion);
+  w.U32(static_cast<uint32_t>(spec.num_instances()));
+  for (int i = 0; i < spec.num_instances(); ++i) {
+    const core::TemporalInstance& inst = spec.instance(i);
+    const Schema& schema = inst.schema();
+    const Relation& rel = inst.relation();
+    w.Str(schema.relation_name());
+    w.U32(static_cast<uint32_t>(schema.arity()));
+    for (const std::string& name : schema.attribute_names()) w.Str(name);
+    w.U32(static_cast<uint32_t>(rel.size()));
+    for (const Tuple& t : rel.tuples()) {
+      for (const Value& v : t.values()) w.Val(v);
+    }
+    // Initial currency orders, attr 1.. (attr 0 is the always-empty EID
+    // placeholder).  Pairs() is the lexicographic transitive closure —
+    // deterministic, and re-adding it reproduces the closure exactly.
+    for (AttrIndex a = 1; a < schema.arity(); ++a) {
+      std::vector<std::pair<int, int>> pairs = inst.order(a).Pairs();
+      w.U32(static_cast<uint32_t>(pairs.size()));
+      for (const auto& [u, v] : pairs) {
+        w.U32(static_cast<uint32_t>(u));
+        w.U32(static_cast<uint32_t>(v));
+      }
+    }
+    const auto& cs = spec.constraints_for(i);
+    w.U32(static_cast<uint32_t>(cs.size()));
+    for (const constraints::DenialConstraint& dc : cs) {
+      PutConstraint(&w, dc);
+    }
+  }
+  w.U32(static_cast<uint32_t>(spec.copy_edges().size()));
+  for (const core::CopyEdge& edge : spec.copy_edges()) {
+    const copy::CopySignature& sig = edge.fn.signature();
+    w.Str(sig.target_relation);
+    w.U32(static_cast<uint32_t>(sig.target_attrs.size()));
+    for (const std::string& a : sig.target_attrs) w.Str(a);
+    w.Str(sig.source_relation);
+    w.U32(static_cast<uint32_t>(sig.source_attrs.size()));
+    for (const std::string& a : sig.source_attrs) w.Str(a);
+    w.U32(static_cast<uint32_t>(edge.fn.mapping().size()));
+    for (const auto& [t, s] : edge.fn.mapping()) {
+      w.U32(static_cast<uint32_t>(t));
+      w.U32(static_cast<uint32_t>(s));
+    }
+  }
+  out->append(w.data());
+}
+
+std::string SerializeSpecification(const core::Specification& spec) {
+  std::string out;
+  AppendSpecification(spec, &out);
+  return out;
+}
+
+Result<core::Specification> ParseSpecification(std::string_view bytes) {
+  Reader r(bytes);
+  RETURN_IF_ERROR(r.Magic(kSpecMagic, kSpecVersion));
+  core::Specification spec;
+  ASSIGN_OR_RETURN(uint32_t num_instances, r.U32());
+  RETURN_IF_ERROR(r.CheckCount(num_instances, /*name+arity+counts*/ 16));
+  for (uint32_t i = 0; i < num_instances; ++i) {
+    ASSIGN_OR_RETURN(std::string relation_name, r.Str());
+    ASSIGN_OR_RETURN(uint32_t arity, r.U32());
+    if (arity < 1) {
+      return Status::InvalidArgument("wire: instance with arity 0");
+    }
+    RETURN_IF_ERROR(r.CheckCount(arity, 4));
+    std::vector<std::string> names;
+    names.reserve(arity);
+    for (uint32_t a = 0; a < arity; ++a) {
+      ASSIGN_OR_RETURN(std::string name, r.Str());
+      names.push_back(std::move(name));
+    }
+    // names[0] is the EID; Schema::Make re-prepends it.
+    std::string eid_name = names[0];
+    names.erase(names.begin());
+    ASSIGN_OR_RETURN(Schema schema,
+                     Schema::Make(relation_name, std::move(names),
+                                  std::move(eid_name)));
+    Relation rel(std::move(schema));
+    ASSIGN_OR_RETURN(uint32_t num_tuples, r.U32());
+    RETURN_IF_ERROR(r.CheckCount(num_tuples, arity));
+    for (uint32_t t = 0; t < num_tuples; ++t) {
+      std::vector<Value> values;
+      values.reserve(arity);
+      for (uint32_t a = 0; a < arity; ++a) {
+        ASSIGN_OR_RETURN(Value v, r.Val());
+        values.push_back(std::move(v));
+      }
+      RETURN_IF_ERROR(rel.Append(Tuple(std::move(values))).status());
+    }
+    core::TemporalInstance inst(std::move(rel));
+    for (uint32_t a = 1; a < arity; ++a) {
+      ASSIGN_OR_RETURN(uint32_t npairs, r.U32());
+      RETURN_IF_ERROR(r.CheckCount(npairs, 8));
+      for (uint32_t k = 0; k < npairs; ++k) {
+        ASSIGN_OR_RETURN(uint32_t u, r.U32());
+        ASSIGN_OR_RETURN(uint32_t v, r.U32());
+        if (u >= num_tuples || v >= num_tuples) {
+          return Status::InvalidArgument("wire: order pair tuple out of "
+                                         "range");
+        }
+        // Re-validates same-entity and acyclicity; a corrupt pair is
+        // rejected here rather than installed.
+        RETURN_IF_ERROR(inst.AddOrder(static_cast<AttrIndex>(a),
+                                      static_cast<TupleId>(u),
+                                      static_cast<TupleId>(v)));
+      }
+    }
+    const Schema inst_schema = inst.schema();
+    RETURN_IF_ERROR(spec.AddInstance(std::move(inst)));
+    ASSIGN_OR_RETURN(uint32_t num_constraints, r.U32());
+    RETURN_IF_ERROR(r.CheckCount(num_constraints, /*counts+conclusion*/ 24));
+    for (uint32_t k = 0; k < num_constraints; ++k) {
+      ASSIGN_OR_RETURN(constraints::DenialConstraint dc,
+                       GetConstraint(&r, inst_schema));
+      RETURN_IF_ERROR(spec.AddConstraint(std::move(dc)));
+    }
+  }
+  ASSIGN_OR_RETURN(uint32_t num_edges, r.U32());
+  RETURN_IF_ERROR(r.CheckCount(num_edges, 20));
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    copy::CopySignature sig;
+    ASSIGN_OR_RETURN(sig.target_relation, r.Str());
+    ASSIGN_OR_RETURN(uint32_t ntarget, r.U32());
+    RETURN_IF_ERROR(r.CheckCount(ntarget, 4));
+    for (uint32_t k = 0; k < ntarget; ++k) {
+      ASSIGN_OR_RETURN(std::string a, r.Str());
+      sig.target_attrs.push_back(std::move(a));
+    }
+    ASSIGN_OR_RETURN(sig.source_relation, r.Str());
+    ASSIGN_OR_RETURN(uint32_t nsource, r.U32());
+    RETURN_IF_ERROR(r.CheckCount(nsource, 4));
+    for (uint32_t k = 0; k < nsource; ++k) {
+      ASSIGN_OR_RETURN(std::string a, r.Str());
+      sig.source_attrs.push_back(std::move(a));
+    }
+    copy::CopyFunction fn(std::move(sig));
+    ASSIGN_OR_RETURN(uint32_t nmapped, r.U32());
+    RETURN_IF_ERROR(r.CheckCount(nmapped, 8));
+    for (uint32_t k = 0; k < nmapped; ++k) {
+      ASSIGN_OR_RETURN(uint32_t t, r.U32());
+      ASSIGN_OR_RETURN(uint32_t s, r.U32());
+      RETURN_IF_ERROR(fn.Map(static_cast<TupleId>(t),
+                             static_cast<TupleId>(s)));
+    }
+    // AddCopyFunction re-validates the signature resolution and the
+    // copying condition against the parsed data.
+    RETURN_IF_ERROR(spec.AddCopyFunction(std::move(fn)));
+  }
+  RETURN_IF_ERROR(r.ExpectEnd());
+  return spec;
+}
+
+void AppendTupleEdits(const std::vector<core::TupleEdit>& edits,
+                      std::string* out) {
+  Writer w;
+  w.Magic(kEditsMagic, kEditsVersion);
+  w.U32(static_cast<uint32_t>(edits.size()));
+  for (const core::TupleEdit& e : edits) {
+    w.I32(e.instance);
+    w.I32(e.tuple);
+    w.I32(e.attr);
+    w.Val(e.new_value);
+  }
+  out->append(w.data());
+}
+
+std::string SerializeTupleEdits(const std::vector<core::TupleEdit>& edits) {
+  std::string out;
+  AppendTupleEdits(edits, &out);
+  return out;
+}
+
+Result<std::vector<core::TupleEdit>> ParseTupleEdits(std::string_view bytes) {
+  Reader r(bytes);
+  RETURN_IF_ERROR(r.Magic(kEditsMagic, kEditsVersion));
+  ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  RETURN_IF_ERROR(r.CheckCount(count, /*3 ints + value tag*/ 13));
+  std::vector<core::TupleEdit> edits;
+  edits.reserve(count);
+  for (uint32_t k = 0; k < count; ++k) {
+    core::TupleEdit e;
+    ASSIGN_OR_RETURN(e.instance, r.I32());
+    ASSIGN_OR_RETURN(e.tuple, r.I32());
+    ASSIGN_OR_RETURN(e.attr, r.I32());
+    ASSIGN_OR_RETURN(e.new_value, r.Val());
+    edits.push_back(std::move(e));
+  }
+  RETURN_IF_ERROR(r.ExpectEnd());
+  return edits;
+}
+
+}  // namespace currency::wire

@@ -1,0 +1,68 @@
+// Wire formats for the core state objects: a whole Specification
+// ("CSPC" version 1) and a tuple-edit batch ("CEDT" version 1).
+//
+// These are the payloads of the durable command log (src/wal via
+// src/serve/command.h) and the intended body format of a future TCP
+// front-end.  Round-trip exactness is a contract, not an aspiration:
+//
+//   Parse(Serialize(spec)) adds the same instances, tuples, initial
+//   currency-order pairs, denial constraints and copy functions through
+//   the same validated Specification builders, and
+//   Serialize(Parse(bytes)) == bytes for every valid buffer,
+//
+// which the golden tests in tests/wire_test.cc pin byte-for-byte.  The
+// determinism carrying that contract: instance order is registration
+// order, PartialOrder::Pairs() enumerates the (closed) order relation
+// lexicographically, copy mappings are sorted std::maps, doubles are
+// serialized as IEEE bit patterns, and DenialConstraint::Make stores its
+// pieces verbatim.
+//
+// Layout notes (version 1):
+//   * Currency orders are serialized as their full transitive closure;
+//     re-adding every pair reproduces the closure exactly (AddOrder
+//     re-validates same-entity and acyclicity, so a corrupt buffer is
+//     rejected, never installed).
+//   * Denial constraints are serialized STRUCTURALLY (operands, compare
+//     ops, order atoms), not as DSL text: constants round-trip by bit
+//     pattern where text could lose double precision.
+//   * What is rebuilt, not stored: entity-group caches, decompositions,
+//     fingerprints — all derived state.
+
+#ifndef CURRENCY_SRC_WIRE_SPEC_H_
+#define CURRENCY_SRC_WIRE_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/specification.h"
+
+namespace currency::wire {
+
+/// Appends the canonical "CSPC" v1 encoding of `spec` to `out`.
+void AppendSpecification(const core::Specification& spec, std::string* out);
+
+/// The canonical encoding as a fresh string.
+std::string SerializeSpecification(const core::Specification& spec);
+
+/// Parses a whole "CSPC" buffer back into a validated Specification.
+/// Trailing bytes, bad magic, version skew, truncation and semantically
+/// invalid content (cyclic orders, failing copy conditions) all fail with
+/// InvalidArgument; nothing is partially applied anywhere.
+Result<core::Specification> ParseSpecification(std::string_view bytes);
+
+/// Appends the canonical "CEDT" v1 encoding of an edit batch to `out`.
+void AppendTupleEdits(const std::vector<core::TupleEdit>& edits,
+                      std::string* out);
+
+std::string SerializeTupleEdits(const std::vector<core::TupleEdit>& edits);
+
+/// Parses a whole "CEDT" buffer.  Range validity against a concrete
+/// specification is NOT checked here — Specification::ApplyTupleEdits
+/// owns that — only structural well-formedness.
+Result<std::vector<core::TupleEdit>> ParseTupleEdits(std::string_view bytes);
+
+}  // namespace currency::wire
+
+#endif  // CURRENCY_SRC_WIRE_SPEC_H_

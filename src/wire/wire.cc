@@ -1,0 +1,195 @@
+#include "src/wire/wire.h"
+
+#include <cstring>
+
+namespace currency::wire {
+
+namespace {
+
+/// Hex rendering for magic-mismatch diagnostics (magic bytes may be
+/// arbitrary garbage on corrupt input; never print them raw).
+std::string HexTag(const char* tag) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    unsigned char b = static_cast<unsigned char>(tag[i]);
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 15]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Writer::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Writer::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Writer::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  U64(bits);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void Writer::Val(const Value& v) {
+  U8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kInt:
+      I64(v.AsInt());
+      break;
+    case ValueKind::kDouble:
+      F64(v.AsDouble());
+      break;
+    case ValueKind::kString:
+      Str(v.AsString());
+      break;
+    case ValueKind::kBool:
+      U8(v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+void Writer::Magic(const char tag[4], uint32_t version) {
+  out_.append(tag, 4);
+  U32(version);
+}
+
+Status Reader::Need(size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return Status::InvalidArgument(
+        "wire: truncated buffer (need " + std::to_string(n) + " bytes at " +
+        std::to_string(pos_) + " of " + std::to_string(data_.size()) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> Reader::U8() {
+  RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> Reader::U32() {
+  RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::U64() {
+  RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> Reader::I32() {
+  ASSIGN_OR_RETURN(uint32_t v, U32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> Reader::I64() {
+  ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Reader::F64() {
+  ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+Result<std::string> Reader::Str() {
+  ASSIGN_OR_RETURN(uint32_t len, U32());
+  RETURN_IF_ERROR(Need(len));
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Result<Value> Reader::Val() {
+  ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (static_cast<ValueKind>(tag)) {
+    case ValueKind::kNull:
+      return Value::Null();
+    case ValueKind::kInt: {
+      ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value(v);
+    }
+    case ValueKind::kDouble: {
+      ASSIGN_OR_RETURN(double v, F64());
+      return Value(v);
+    }
+    case ValueKind::kString: {
+      ASSIGN_OR_RETURN(std::string v, Str());
+      return Value(std::move(v));
+    }
+    case ValueKind::kBool: {
+      ASSIGN_OR_RETURN(uint8_t v, U8());
+      return Value::Bool(v != 0);
+    }
+  }
+  return Status::InvalidArgument("wire: unknown Value kind tag " +
+                                 std::to_string(tag));
+}
+
+Status Reader::Magic(const char tag[4], uint32_t version) {
+  RETURN_IF_ERROR(Need(4));
+  if (std::memcmp(data_.data() + pos_, tag, 4) != 0) {
+    std::string got(data_.substr(pos_, 4));
+    return Status::InvalidArgument(
+        "wire: bad magic: want '" + std::string(tag, 4) + "', got 0x" +
+        HexTag(got.data()));
+  }
+  pos_ += 4;
+  ASSIGN_OR_RETURN(uint32_t got_version, U32());
+  if (got_version != version) {
+    return Status::InvalidArgument(
+        "wire: '" + std::string(tag, 4) + "' format version mismatch: this "
+        "build reads version " + std::to_string(version) + ", buffer is "
+        "version " + std::to_string(got_version) +
+        " — bump the format version and add a migration path before "
+        "changing the layout");
+  }
+  return Status::OK();
+}
+
+Status Reader::CheckCount(uint64_t count, uint64_t min_bytes_per_item) const {
+  if (min_bytes_per_item != 0 && count > remaining() / min_bytes_per_item) {
+    return Status::InvalidArgument(
+        "wire: corrupt count " + std::to_string(count) + " (only " +
+        std::to_string(remaining()) + " bytes remain)");
+  }
+  return Status::OK();
+}
+
+Status Reader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::InvalidArgument(
+        "wire: " + std::to_string(remaining()) + " trailing bytes after "
+        "message end");
+  }
+  return Status::OK();
+}
+
+}  // namespace currency::wire

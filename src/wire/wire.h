@@ -1,0 +1,106 @@
+// currency::wire — the canonical binary encoding layer of the durability
+// stack (and, deliberately, the payload format a future TCP front-end
+// will speak; see docs/ARCHITECTURE.md §8).
+//
+// This header holds the primitives: a Writer that appends fixed-width
+// little-endian scalars, length-prefixed strings and tagged Values to a
+// byte buffer, and a Reader that consumes them with full bounds checking
+// — a truncated or corrupt buffer yields InvalidArgument, never a crash
+// or an over-read.  Every top-level message built on these primitives
+// (src/wire/spec.h, src/serve/command.h) starts with a four-byte magic
+// tag plus a u32 format version, so accidental format breaks fail loudly
+// with a "bump the version" instruction instead of misparsing.
+//
+// Encoding rules (format version contracts depend on these staying
+// fixed):
+//   * u8/u16/u32/u64 are little-endian, fixed width; i32/i64 are their
+//     two's-complement reinterpretations; f64 is the IEEE-754 bit
+//     pattern as u64 — doubles round-trip EXACTLY, including NaN bits.
+//   * Str is u32 byte length + raw bytes (no terminator).
+//   * Val is a u8 ValueKind tag followed by the kind's payload (nothing
+//     for Null, i64, f64, Str, or u8 for Bool).
+//
+// Writers are deterministic: serializing equal content produces equal
+// bytes, which is what lets the recovery tests compare specifications by
+// their serialized form and the golden tests pin the format.
+
+#ifndef CURRENCY_SRC_WIRE_WIRE_H_
+#define CURRENCY_SRC_WIRE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/value.h"
+
+namespace currency::wire {
+
+/// Appends primitives to an owned byte buffer.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern; exact round-trip for every double incl. NaN.
+  void F64(double v);
+  /// u32 length + raw bytes.
+  void Str(std::string_view s);
+  /// u8 kind tag + payload.
+  void Val(const Value& v);
+  /// Four magic bytes + u32 version — the standard message header.
+  void Magic(const char tag[4], uint32_t version);
+  /// Raw bytes, no length prefix (for pre-framed nested blobs use Str).
+  void Raw(std::string_view bytes) { out_.append(bytes); }
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Consumes primitives from a borrowed byte buffer; every accessor is
+/// bounds-checked and returns InvalidArgument on truncation.  The caller
+/// keeps the underlying bytes alive for the Reader's lifetime.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int32_t> I32();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> Str();
+  Result<Value> Val();
+
+  /// Checks the four magic bytes and that the version is exactly
+  /// `version`; the error message names both sides so format breaks are
+  /// self-diagnosing.
+  Status Magic(const char tag[4], uint32_t version);
+
+  /// Guards count-prefixed loops against corrupt counts: fails unless
+  /// `count * min_bytes_per_item` more bytes remain, so a flipped length
+  /// byte cannot drive a multi-gigabyte allocation or a long spin.
+  Status CheckCount(uint64_t count, uint64_t min_bytes_per_item) const;
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// Fails unless the buffer was consumed exactly (trailing garbage is a
+  /// format error for every top-level message).
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace currency::wire
+
+#endif  // CURRENCY_SRC_WIRE_WIRE_H_
