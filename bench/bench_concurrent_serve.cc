@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/core/certain_order.h"
+#include "src/obs/metrics.h"
 #include "src/serve/session.h"
 
 namespace {
@@ -323,7 +324,13 @@ int main(int argc, char** argv) {
   if (mutate.samples_ms.empty()) return Fail("mutator never ran");
   mutate.wall_ms = during.wall_ms;
 
-  serve::SessionStats stats = (*session)->stats();
+  // Registry snapshot, not SessionStats: the same series the exposition
+  // endpoint reports.
+  int64_t total_mutations =
+      (*session)
+          ->registry()
+          ->GetCounter("currency_serve_mutations_total")
+          ->Value();
   std::string json = "{\n  \"bench\": \"bench_concurrent_serve\",\n";
   json += "  \"caveat\": \"on a 1-CPU container the concurrent phases "
           "measure snapshot/scheduling overhead (threads interleave, not "
@@ -337,7 +344,7 @@ int main(int argc, char** argv) {
           ", \"threads\": " + std::to_string(threads) +
           ", \"cpus\": " +
           std::to_string(std::thread::hardware_concurrency()) +
-          ", \"mutations\": " + std::to_string(stats.mutations) +
+          ", \"mutations\": " + std::to_string(total_mutations) +
           ", \"final_epoch\": " + std::to_string((*session)->epoch_version()) +
           "},\n  \"results\": [";
   const Series* all[] = {&serialized, &concurrent, &during, &mutate};

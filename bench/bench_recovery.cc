@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/serve/session_manager.h"
 #include "src/wire/spec.h"
 
@@ -306,7 +307,15 @@ int main(int argc, char** argv) {
     if (wire::SerializeSpecification((*session)->spec()) != live_wire) {
       return Fail("snapshot restart recovered a different specification");
     }
-    if ((*session)->stats().base_solves != 0) {
+    // Registry snapshot, not SessionStats: the same series the exposition
+    // endpoint reports (each reopened manager owns a fresh registry).
+    int64_t base_solves =
+        (*manager)
+            ->registry()
+            ->GetCounter("currency_serve_component_base_solves_total",
+                         {{"tenant", "bench"}, {"routing", "sat"}})
+            ->Value();
+    if (base_solves != 0) {
       return Fail("snapshot restart paid base solves (verdict adoption "
                   "failed)");
     }

@@ -39,6 +39,18 @@
 #    restart phases run sequentially, but the replay-vs-snapshot ratio
 #    is thread-independent.
 #
+#  * BENCH_obs.json — observability overhead: warm COP p50 (per query
+#    in a batch, plus loop-of-singles) for a tracer-absent session, a
+#    fully traced session, and (the A/B that matters) the traced
+#    session against the same binary compiled with -DCURRENCY_OBS_OFF=ON,
+#    where every span/stage/timer is an empty type.  bench_obs_overhead
+#    self-checks every answer against the one-shot solver and enforces
+#    the <= 5% traced-vs-compiled-out warm-batch per-query p50 ceiling
+#    (--max-overhead=1.05; the per-REQUEST trace cost is fixed at
+#    ~0.5 µs, so the single-query series is reported but not enforced —
+#    see the binary's header comment).  The compiled-out baseline
+#    builds in its own tree (build-obsoff), reused across runs.
+#
 #  * BENCH_sat.json — single-threaded SAT-core throughput on the
 #    1024-entity chained-component CPS/COP workload: propagations/sec,
 #    conflicts/sec, per-phase wall clock, and arena bytes for the
@@ -66,7 +78,13 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
 fi
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_serve bench_chase_routing bench_concurrent_serve \
-           bench_recovery bench_sat_core
+           bench_recovery bench_sat_core bench_obs_overhead
+
+obsoff_dir="${build_dir}-obsoff"
+if [ ! -f "$obsoff_dir/CMakeCache.txt" ]; then
+  cmake -B "$obsoff_dir" -S . -DCURRENCY_OBS_OFF=ON
+fi
+cmake --build "$obsoff_dir" -j "$(nproc)" --target bench_obs_overhead
 
 "$build_dir/bench/bench_serve" \
   --entities=1024 --queries=16 --iters=5 \
@@ -93,6 +111,38 @@ cmake --build "$build_dir" -j "$(nproc)" \
   --require-speedup=1.3 \
   --out="$repo_root/BENCH_sat.json"
 
+# Compiled-out baseline first (its own JSON is throwaway), then the
+# instrumented run enforcing the warm-p50 overhead ceiling against it.
+# The quantities compared are ~2 µs, so cross-process scheduler noise on
+# this 1-CPU container can swing a single run's p50 well past 5% in
+# either direction.  Standard microbenchmark hygiene: take the MINIMUM
+# of three baseline p50s (the strictest, least-noisy comparison point)
+# and give the instrumented side three attempts to beat the ceiling —
+# a real >5% overhead fails all three, a noise spike fails at most one.
+obsoff_json="$obsoff_dir/BENCH_obs_baseline.json"
+baseline_p50=""
+for _ in 1 2 3; do
+  "$obsoff_dir/bench/bench_obs_overhead" \
+    --entities=256 --queries=32 --iters=30 \
+    --out="$obsoff_json"
+  run_p50="$(sed -n \
+    's/.*"warm_batch_cop_per_query_traced".*"p50_ms": \([0-9.]*\).*/\1/p' \
+    "$obsoff_json")"
+  baseline_p50="$(awk -v a="$baseline_p50" -v b="$run_p50" \
+    'BEGIN { print (a == "" || b + 0 < a + 0) ? b : a }')"
+done
+obs_ok=0
+for _ in 1 2 3; do
+  if "$build_dir/bench/bench_obs_overhead" \
+    --entities=256 --queries=32 --iters=30 \
+    --baseline-p50-ms="$baseline_p50" --max-overhead=1.05 \
+    --out="$repo_root/BENCH_obs.json"; then
+    obs_ok=1
+    break
+  fi
+done
+[ "$obs_ok" -eq 1 ]
+
 echo "bench: wrote $repo_root/BENCH_serve.json, $repo_root/BENCH_chase.json," \
-  "$repo_root/BENCH_mt.json, $repo_root/BENCH_wal.json and" \
-  "$repo_root/BENCH_sat.json"
+  "$repo_root/BENCH_mt.json, $repo_root/BENCH_wal.json," \
+  "$repo_root/BENCH_sat.json and $repo_root/BENCH_obs.json"

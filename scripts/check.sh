@@ -18,14 +18,15 @@
 # chase_routing_equivalence_test (chase-routed vs forced-SAT answers,
 # including the per-component fixpoint slots confined to pool tasks),
 # sat_metamorphic_test (arena compaction inside pooled session tasks),
-# and wal_recovery_test (the durable commit path: concurrent reader
+# wal_recovery_test (the durable commit path: concurrent reader
 # batches racing logged Mutates, where log_mu_ linearizes apply+append
-# against the snapshot-isolated readers) — so data races in the
-# decomposed solvers fail CI even on hardware where they never
-# misbehave.
+# against the snapshot-isolated readers), and obs_test (lock-free
+# counter/gauge/histogram updates racing get-or-create and exposition)
+# — so data races in the decomposed solvers fail CI even on hardware
+# where they never misbehave.
 #
 # The ASan+UBSan pass (CURRENCY_ASAN, a third build tree) runs the serve
-# and exec suites plus chase_routing_equivalence_test,
+# and exec suites plus obs_test, chase_routing_equivalence_test,
 # sat_metamorphic_test, wire_test and wal_recovery_test: the session
 # layer moves encoders AND chase fixpoints between epochs and hands
 # borrowed pools/encoders across threads, the SAT core's garbage
@@ -55,11 +56,12 @@ cmake -B "$tsan_dir" -S . \
   -DCURRENCY_BUILD_BENCHMARKS=OFF \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j "$(nproc)" \
-  --target exec_test parallel_equivalence_test serve_test \
+  --target exec_test obs_test parallel_equivalence_test serve_test \
            session_equivalence_test concurrent_session_test \
            chase_routing_equivalence_test sat_metamorphic_test \
            wire_test wal_recovery_test
 "$tsan_dir/tests/exec_test"
+"$tsan_dir/tests/obs_test"
 "$tsan_dir/tests/parallel_equivalence_test"
 "$tsan_dir/tests/serve_test"
 "$tsan_dir/tests/session_equivalence_test"
@@ -75,10 +77,11 @@ cmake -B "$asan_dir" -S . \
   -DCURRENCY_BUILD_BENCHMARKS=OFF \
   -DCURRENCY_BUILD_EXAMPLES=OFF
 cmake --build "$asan_dir" -j "$(nproc)" \
-  --target exec_test serve_test session_equivalence_test \
+  --target exec_test obs_test serve_test session_equivalence_test \
            concurrent_session_test chase_routing_equivalence_test \
            sat_metamorphic_test wire_test wal_recovery_test
 "$asan_dir/tests/exec_test"
+"$asan_dir/tests/obs_test"
 "$asan_dir/tests/serve_test"
 "$asan_dir/tests/session_equivalence_test"
 "$asan_dir/tests/concurrent_session_test"

@@ -12,6 +12,11 @@ ThreadPool::ThreadPool(int num_threads)
   }
 }
 
+void ThreadPool::BindInstruments(const Instruments& instruments) {
+  std::lock_guard<std::mutex> lock(mu_);
+  instruments_ = instruments;
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -69,10 +74,18 @@ void ThreadPool::WorkerLoop() {
     }
     if (batch == nullptr) continue;  // raced with a claim; re-wait
     ++batch->active;
+    ++busy_workers_;
+    if (instruments_.busy_workers != nullptr) {
+      instruments_.busy_workers->Set(busy_workers_);
+    }
     lock.unlock();
     bool ran = RunOneTask(batch);
     (void)ran;
     lock.lock();
+    --busy_workers_;
+    if (instruments_.busy_workers != nullptr) {
+      instruments_.busy_workers->Set(busy_workers_);
+    }
     if (--batch->active == 0) done_cv_.notify_all();
   }
 }
@@ -81,15 +94,19 @@ Status ThreadPool::ParallelFor(int num_tasks,
                                const std::function<Status(int)>& body,
                                CancellationToken* cancel) {
   if (num_tasks <= 0) return Status::OK();
+  if (instruments_.regions != nullptr) instruments_.regions->Increment();
   if (workers_.empty() || num_tasks == 1) {
     // Inline sequential path: index order, first error wins, cancellation
     // honoured between tasks — the same contract the workers implement.
     // Concurrent callers each run their own region inline, mirroring the
     // confinement story of the threaded path.
+    int ran = 0;
     for (int task = 0; task < num_tasks; ++task) {
       if (cancel != nullptr && cancel->cancelled()) break;
+      ++ran;
       RETURN_IF_ERROR(body(task));
     }
+    if (instruments_.tasks != nullptr) instruments_.tasks->Increment(ran);
     return Status::OK();
   }
   Batch batch;
@@ -100,6 +117,9 @@ Status ThreadPool::ParallelFor(int num_tasks,
   {
     std::lock_guard<std::mutex> lock(mu_);
     batches_.push_back(&batch);
+    if (instruments_.open_regions != nullptr) {
+      instruments_.open_regions->Set(static_cast<int64_t>(batches_.size()));
+    }
   }
   work_cv_.notify_all();
   // The caller drains its own region: progress never depends on the
@@ -117,6 +137,14 @@ Status ThreadPool::ParallelFor(int num_tasks,
     done_cv_.wait(lock, [&] { return batch.active == 0; });
     batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
     if (rr_cursor_ >= batches_.size()) rr_cursor_ = 0;
+    if (instruments_.open_regions != nullptr) {
+      instruments_.open_regions->Set(static_cast<int64_t>(batches_.size()));
+    }
+    if (instruments_.tasks != nullptr) {
+      // Claims beyond num_tasks are failed probes, not runs.
+      instruments_.tasks->Increment(std::min(
+          batch.next.load(std::memory_order_relaxed), batch.num_tasks));
+    }
   }
   for (int task = 0; task < num_tasks; ++task) {
     if (!batch.statuses[task].ok()) return batch.statuses[task];

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 
 namespace currency::exec {
 
@@ -82,6 +83,20 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return num_threads_; }
+
+  /// Optional registry instruments; any pointer may be null.  Updated
+  /// only under the pool mutex or at region boundaries, so binding adds
+  /// no per-task cost.
+  struct Instruments {
+    obs::Counter* regions = nullptr;     // ParallelFor invocations
+    obs::Counter* tasks = nullptr;       // task bodies actually run
+    obs::Gauge* open_regions = nullptr;  // concurrently open regions
+    obs::Gauge* busy_workers = nullptr;  // workers running a task body
+  };
+
+  /// Binds registry instruments.  Call before the pool is shared across
+  /// threads (it races with ParallelFor otherwise).
+  void BindInstruments(const Instruments& instruments);
 
   /// Runs body(task) for every task in [0, num_tasks), blocking until all
   /// claimed tasks finish.  Indices are claimed in increasing order; each
@@ -134,6 +149,10 @@ class ThreadPool {
   /// Round-robin pick cursor over batches_; guarded by mu_.
   std::size_t rr_cursor_ = 0;
   bool shutdown_ = false;  // guarded by mu_
+  /// Workers currently inside a task body (excludes region owners, which
+  /// drain their own regions); guarded by mu_.
+  int busy_workers_ = 0;
+  Instruments instruments_;  // written by BindInstruments under mu_
 };
 
 /// Resolves an optional caller-owned pool: returns `pool` when non-null

@@ -1,0 +1,80 @@
+// obs::Clock — the one time source behind every latency histogram and
+// trace span, injectable so tests and benchmarks control time exactly.
+//
+// All of observability reads time through this interface: the serving
+// layer's batch latency histograms, the WAL's append/fsync timings, and
+// the tracer's span boundaries.  Production code uses MonotonicClock
+// (steady_clock, immune to wall-clock steps); tests swap in ManualClock
+// and advance it by hand, which makes trace-ring and slow-log behavior
+// deterministic down to the nanosecond.
+//
+// Clock reads are the only thing the observability layer does that is
+// not a relaxed atomic bump, so the deterministic-execution contract is
+// easy to state: no code path ever *branches* on a clock value in a way
+// that reaches a solver, an enumeration, or a thread-pool claim — time
+// flows into metrics and traces, never back into answers.  (The
+// equivalence suites assert the consequence: instrumented and
+// uninstrumented runs return bit-identical results.)
+
+#ifndef CURRENCY_SRC_OBS_CLOCK_H_
+#define CURRENCY_SRC_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace currency::obs {
+
+/// Abstract nanosecond time source.  Implementations must be safe to
+/// read from any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// The production clock: std::chrono::steady_clock, monotonic across
+/// the process lifetime.
+class MonotonicClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// The shared process-wide instance (stateless, so one suffices).
+  static const Clock* Get() {
+    static const MonotonicClock clock;
+    return &clock;
+  }
+};
+
+/// Test clock: time moves only when the test says so.  Thread-safe so
+/// instrumented worker threads may read it while the test advances it.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  int64_t NowNanos() const override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void Advance(int64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void Set(int64_t now_ns) {
+    now_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+/// Resolves a possibly-null clock option to a usable clock.
+inline const Clock* ResolveClock(const Clock* clock) {
+  return clock != nullptr ? clock : MonotonicClock::Get();
+}
+
+}  // namespace currency::obs
+
+#endif  // CURRENCY_SRC_OBS_CLOCK_H_

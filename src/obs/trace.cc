@@ -1,0 +1,130 @@
+#include "src/obs/trace.h"
+
+#include <utility>
+
+namespace currency::obs {
+
+std::string Trace::Format() const {
+  std::string out = "trace tenant=\"" + tenant + "\" procedure=" + procedure +
+                    " total_ns=" + std::to_string(DurationNs());
+  for (const TraceStage& s : stages) {
+    out += ' ';
+    out += s.name;
+    out += "=" + std::to_string(s.end_ns - s.start_ns) + "ns";
+    if (s.sat_propagations != 0 || s.sat_conflicts != 0 ||
+        s.chase_passes != 0) {
+      out += "[sat_props=" + std::to_string(s.sat_propagations) +
+             " sat_conflicts=" + std::to_string(s.sat_conflicts) +
+             " chase_passes=" + std::to_string(s.chase_passes) + ']';
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer(const TraceOptions& options)
+    : options_(options),
+      clock_(ResolveClock(options.clock)),
+      enabled_(options.enabled) {}
+
+void Tracer::Record(Trace&& trace) {
+  const bool slow = trace.DurationNs() >= options_.slow_threshold_ns;
+  std::string slow_line;
+  if (slow) slow_line = trace.Format();  // format outside the push below
+  std::lock_guard<std::mutex> lock(mu_);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.ring_capacity == 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (ring_.size() >= options_.ring_capacity) {
+      ring_.pop_front();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ring_.push_back(std::move(trace));
+  }
+  if (slow && options_.slow_log_capacity > 0) {
+    if (slow_log_.size() >= options_.slow_log_capacity) {
+      slow_log_.pop_front();
+    }
+    slow_log_.push_back(std::move(slow_line));
+  }
+}
+
+std::vector<Trace> Tracer::RecentTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Trace>(ring_.begin(), ring_.end());
+}
+
+std::vector<std::string> Tracer::SlowLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(slow_log_.begin(), slow_log_.end());
+}
+
+#ifndef CURRENCY_OBS_OFF
+
+namespace {
+/// The calling thread's open root span.  Written only by TraceSpan's
+/// constructor/destructor on the owning thread.
+thread_local TraceSpan* g_current_span = nullptr;
+}  // namespace
+
+TraceSpan* TraceSpan::Current() { return g_current_span; }
+
+TraceSpan::TraceSpan(Tracer* tracer, std::string_view tenant,
+                     std::string_view procedure) {
+  if (tracer == nullptr || !tracer->enabled() || g_current_span != nullptr) {
+    return;  // inert: disabled, or nested under another root
+  }
+  tracer_ = tracer;
+  trace_.tenant.assign(tenant.data(), tenant.size());
+  trace_.procedure.assign(procedure.data(), procedure.size());
+  trace_.start_ns = tracer_->clock().NowNanos();
+  g_current_span = this;
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  g_current_span = nullptr;
+  trace_.end_ns = tracer_->clock().NowNanos();
+  tracer_->Record(std::move(trace_));
+}
+
+TraceSpan::Stage::Stage(const char* name, const StageCounters& counters) {
+  TraceSpan* root = g_current_span;
+  if (root == nullptr || !root->active()) return;
+  root_ = root;
+  counters_ = counters;
+  stage_.name = name;
+  stage_.start_ns = root->tracer_->clock().NowNanos();
+  if (counters_.sat_propagations != nullptr) {
+    stage_.sat_propagations = counters_.sat_propagations->Value();
+  }
+  if (counters_.sat_conflicts != nullptr) {
+    stage_.sat_conflicts = counters_.sat_conflicts->Value();
+  }
+  if (counters_.chase_passes != nullptr) {
+    stage_.chase_passes = counters_.chase_passes->Value();
+  }
+}
+
+TraceSpan::Stage::~Stage() {
+  if (root_ == nullptr) return;
+  stage_.end_ns = root_->tracer_->clock().NowNanos();
+  // Entry values were stashed in the delta fields; close them out.
+  stage_.sat_propagations =
+      counters_.sat_propagations != nullptr
+          ? counters_.sat_propagations->Value() - stage_.sat_propagations
+          : 0;
+  stage_.sat_conflicts =
+      counters_.sat_conflicts != nullptr
+          ? counters_.sat_conflicts->Value() - stage_.sat_conflicts
+          : 0;
+  stage_.chase_passes =
+      counters_.chase_passes != nullptr
+          ? counters_.chase_passes->Value() - stage_.chase_passes
+          : 0;
+  root_->trace_.stages.push_back(stage_);
+}
+
+#endif  // CURRENCY_OBS_OFF
+
+}  // namespace currency::obs

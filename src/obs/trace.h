@@ -1,0 +1,234 @@
+// obs tracing — lightweight per-request stage timing with a bounded
+// completed-trace ring and a slow-request log.
+//
+// A request's life in the serving layer crosses several waits that
+// end-of-run totals cannot separate: admission wait (the tenant's gate),
+// epoch pin, per-component solving (SAT or chase), answer merge, and —
+// for mutations — WAL append + fsync.  A TraceSpan is an RAII root
+// opened at the request boundary (SessionManager::WithAdmission, or a
+// CurrencySession batch entry when called standalone); TraceSpan::Stage
+// sub-timers mark the stages.  When the root closes, the assembled Trace
+// lands in the tracer's bounded ring buffer (overwriting the oldest),
+// and any trace whose total exceeds the slow threshold is additionally
+// formatted into the slow-request log.
+//
+// Stage attachment is thread-local: Stage finds the enclosing root via a
+// thread_local pointer, so instrumenting a call site never requires
+// threading a context parameter through APIs.  Two consequences, both
+// deliberate:
+//   * a nested root (a session batch invoked under a manager's span) is
+//     inert — the outer span owns the request's trace;
+//   * stages opened on pool WORKER threads do not attach (the root lives
+//     on the request thread); per-component work is therefore traced as
+//     one "solve" stage on the request thread, with the parallel detail
+//     visible through the registry's counters instead.
+// Stages may carry counter deltas: a StageCounters set names registry
+// counters whose values are snapshotted at stage entry and exit, so a
+// solve stage reports how many SAT propagations/conflicts and chase
+// passes it caused (approximate under concurrent batches — the counters
+// are shared — exact when requests run one at a time).
+//
+// Cost contract (asserted by bench_obs_overhead and the equivalence
+// suites):
+//   * tracer disabled: a root span is two relaxed atomic loads and no
+//     clock read; stages are one thread_local load.  Observably
+//     zero-cost.
+//   * compiled out (CURRENCY_OBS_OFF): TraceSpan, Stage and ScopedTimer
+//     are empty types; every instrumentation site vanishes, clock reads
+//     included.
+//   * enabled: a handful of clock reads per request.  Time flows into
+//     the trace, never back into control flow, so answers, enumeration
+//     order and thread-count bit-identity are untouched.
+
+#ifndef CURRENCY_SRC_OBS_TRACE_H_
+#define CURRENCY_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+
+namespace currency::obs {
+
+/// One timed stage inside a trace.
+struct TraceStage {
+  const char* name = "";  // static-duration string at the call site
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  /// Registry-counter deltas observed over the stage (0 when the stage
+  /// carried no StageCounters).
+  int64_t sat_propagations = 0;
+  int64_t sat_conflicts = 0;
+  int64_t chase_passes = 0;
+};
+
+/// One completed request trace.
+struct Trace {
+  std::string tenant;
+  std::string procedure;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  std::vector<TraceStage> stages;
+
+  int64_t DurationNs() const { return end_ns - start_ns; }
+  /// One human-readable line: tenant, procedure, total, per-stage
+  /// timings with any counter deltas.  The slow log stores these.
+  std::string Format() const;
+};
+
+/// Tracer configuration, fixed at construction.
+struct TraceOptions {
+  /// Master switch; also toggleable at runtime via set_enabled.
+  bool enabled = false;
+  /// Completed traces kept; the oldest is overwritten beyond this.
+  size_t ring_capacity = 256;
+  /// Traces at least this long are formatted into the slow log.
+  int64_t slow_threshold_ns = 100'000'000;  // 100 ms
+  /// Formatted slow-request lines kept (oldest dropped beyond this).
+  size_t slow_log_capacity = 64;
+  /// Time source; null means MonotonicClock.
+  const Clock* clock = nullptr;
+};
+
+/// Owns the ring buffer and slow log; thread-safe.  One per
+/// SessionManager (or one per process, the caller's choice).
+class Tracer {
+ public:
+  explicit Tracer(const TraceOptions& options = {});
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  const Clock& clock() const { return *clock_; }
+
+  /// Completed traces, oldest first (at most ring_capacity).
+  std::vector<Trace> RecentTraces() const;
+  /// Formatted slow-request lines, oldest first.
+  std::vector<std::string> SlowLog() const;
+  /// Traces recorded / evicted from the ring since construction.
+  int64_t recorded_traces() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  int64_t dropped_traces() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by ~TraceSpan; takes ownership of the trace.
+  void Record(Trace&& trace);
+
+ private:
+  const TraceOptions options_;
+  const Clock* clock_;
+  std::atomic<bool> enabled_;
+  std::atomic<int64_t> recorded_{0};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::deque<Trace> ring_;
+  std::deque<std::string> slow_log_;
+};
+
+/// Registry counters a stage snapshots at entry and exit (all optional;
+/// reads are relaxed atomic loads).
+struct StageCounters {
+  const Counter* sat_propagations = nullptr;
+  const Counter* sat_conflicts = nullptr;
+  const Counter* chase_passes = nullptr;
+};
+
+#ifndef CURRENCY_OBS_OFF
+
+/// RAII root span; see the file comment for attachment and cost rules.
+class TraceSpan {
+ public:
+  /// Inert when `tracer` is null, disabled, or another root is already
+  /// open on this thread.
+  TraceSpan(Tracer* tracer, std::string_view tenant,
+            std::string_view procedure);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  /// The calling thread's open root span, if any.
+  static TraceSpan* Current();
+
+  /// RAII stage timer attaching to the thread's current root (inert
+  /// when there is none).
+  class Stage {
+   public:
+    explicit Stage(const char* name, const StageCounters& counters = {});
+    ~Stage();
+    Stage(const Stage&) = delete;
+    Stage& operator=(const Stage&) = delete;
+
+   private:
+    TraceSpan* root_ = nullptr;
+    StageCounters counters_;
+    TraceStage stage_;
+  };
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when inert
+  Trace trace_;
+};
+
+/// RAII latency recorder: observes the elapsed nanoseconds into a
+/// histogram at scope exit.  Inert when either pointer is null.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram* histogram, const Clock* clock)
+      : histogram_(histogram),
+        clock_(histogram != nullptr ? ResolveClock(clock) : nullptr),
+        start_ns_(clock_ != nullptr ? clock_->NowNanos() : 0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(clock_->NowNanos() - start_ns_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  const Clock* clock_;
+  int64_t start_ns_;
+};
+
+#else  // CURRENCY_OBS_OFF
+
+// Compile-out: the timing instrumentation vanishes entirely — no clock
+// reads, no members, no thread-local traffic.  Counters and gauges stay
+// (SessionStats et al. are built on them); what CURRENCY_OBS_OFF buys is
+// the removal of every *time* measurement.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer*, std::string_view, std::string_view) {}
+  bool active() const { return false; }
+  static TraceSpan* Current() { return nullptr; }
+  class Stage {
+   public:
+    explicit Stage(const char*, const StageCounters& = {}) {}
+    Stage(const Stage&) = delete;
+    Stage& operator=(const Stage&) = delete;
+  };
+};
+
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram*, const Clock*) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif  // CURRENCY_OBS_OFF
+
+}  // namespace currency::obs
+
+#endif  // CURRENCY_SRC_OBS_TRACE_H_

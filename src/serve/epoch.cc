@@ -9,6 +9,46 @@ namespace currency::serve {
 using core::DecomposedEncoder;
 using core::Encoder;
 
+void SessionCounters::Bind(obs::Registry* registry,
+                           const std::string& tenant) {
+  obs::Labels t;
+  if (!tenant.empty()) t.push_back({"tenant", tenant});
+  auto with = [&](const char* key, const char* value) {
+    obs::Labels labels = t;
+    labels.push_back({key, value});
+    return labels;
+  };
+  mutations = registry->GetCounter("currency_serve_mutations_total", t);
+  base_solves = registry->GetCounter(
+      "currency_serve_component_base_solves_total", with("routing", "sat"));
+  chase_solves = registry->GetCounter(
+      "currency_serve_component_base_solves_total", with("routing", "chase"));
+  merged_builds =
+      registry->GetCounter("currency_serve_merged_encoder_builds_total", t);
+  cache_hits =
+      registry->GetCounter("currency_serve_component_cache_hits_total", t);
+  epoch_publishes =
+      registry->GetCounter("currency_serve_epoch_publishes_total", t);
+  chase_sat_fallbacks =
+      registry->GetCounter("currency_chase_sat_fallbacks_total", t);
+  sat_propagations = registry->GetCounter("currency_sat_propagations_total", t);
+  sat_conflicts = registry->GetCounter("currency_sat_conflicts_total", t);
+  sat_gc_runs = registry->GetCounter("currency_sat_gc_runs_total", t);
+  sat_arena_bytes = registry->GetGauge("currency_sat_arena_bytes", t);
+  chase_passes = registry->GetCounter("currency_chase_passes_total", t);
+  chase_edges_expanded =
+      registry->GetCounter("currency_chase_edges_expanded_total", t);
+  last_reused =
+      registry->GetGauge("currency_serve_components_last_reused", t);
+  last_invalidated =
+      registry->GetGauge("currency_serve_components_last_invalidated", t);
+  last_chase_reused =
+      registry->GetGauge("currency_serve_chase_components_last_reused", t);
+  last_chase_rechased =
+      registry->GetGauge("currency_serve_chase_components_last_rechased", t);
+  epoch_version = registry->GetGauge("currency_serve_epoch_version", t);
+}
+
 Result<std::shared_ptr<Epoch>> Epoch::Build(core::Specification spec,
                                             const core::Encoder::Options& enc,
                                             bool use_chase_routing,
@@ -26,18 +66,47 @@ Result<std::shared_ptr<Epoch>> Epoch::Build(core::Specification spec,
   return epoch;
 }
 
+namespace {
+
+/// Publishes the work one solver use performed as registry deltas: the
+/// solver's cumulative stats are snapshotted before and after (the sat
+/// module stays observability-free; this boundary sampling is the only
+/// bridge).  arena_bytes is a level, not a count, so its signed delta
+/// goes to a gauge.
+void SampleSolverDelta(const SessionCounters* counters,
+                       const sat::SolverStats& before,
+                       const sat::SolverStats& after) {
+  counters->sat_propagations->Increment(after.propagations -
+                                        before.propagations);
+  counters->sat_conflicts->Increment(after.conflicts - before.conflicts);
+  counters->sat_gc_runs->Increment(after.gc_runs - before.gc_runs);
+  counters->sat_arena_bytes->Add(after.arena_bytes - before.arena_bytes);
+}
+
+}  // namespace
+
 Result<bool> Epoch::SolveComponentBase(int c) {
   Slot& slot = slots_[c];
   std::lock_guard<std::mutex> lock(slot.mu);
   // A racing batch may have solved this component while we queued for the
   // slot; its bit is authoritative and costs nothing to reuse.
   int cached = slot.sat.load(std::memory_order_acquire);
-  if (cached >= 0) return cached == 1;
+  if (cached >= 0) {
+    counters_->cache_hits->Increment();
+    return cached == 1;
+  }
   if (slot.encoder == nullptr) {
     ASSIGN_OR_RETURN(slot.encoder, decomposed_->BuildComponentEncoder(c));
   }
+  const sat::SolverStats before = slot.encoder->solver().stats();
   bool sat = slot.encoder->solver().Solve() == sat::SolveResult::kSat;
-  counters_->base_solves.fetch_add(1, std::memory_order_relaxed);
+  SampleSolverDelta(counters_, before, slot.encoder->solver().stats());
+  counters_->base_solves->Increment();
+  if (decomposed_->chase_routing()) {
+    // A chase-routing epoch reached the SAT path: the component carries a
+    // grounded denial constraint, so the polynomial route was unavailable.
+    counters_->chase_sat_fallbacks->Increment();
+  }
   slot.sat.store(sat ? 1 : 0, std::memory_order_release);
   return sat;
 }
@@ -54,6 +123,8 @@ Result<const core::ComponentChase*> Epoch::ChaseFixpoint(int c) {
   if (!slot.chase_ready.load(std::memory_order_relaxed)) {
     ASSIGN_OR_RETURN(core::ComponentChase chase,
                      decomposed_->BuildComponentChase(c));
+    counters_->chase_passes->Increment(chase.passes);
+    counters_->chase_edges_expanded->Increment(chase.edges_expanded);
     slot.chase = std::make_shared<const core::ComponentChase>(std::move(chase));
     slot.chase_ready.store(true, std::memory_order_release);
   }
@@ -69,7 +140,10 @@ Status Epoch::WithComponentEncoder(
     // this epoch was still pinned; rebuilding gives identical answers.
     ASSIGN_OR_RETURN(slot.encoder, decomposed_->BuildComponentEncoder(c));
   }
-  return fn(slot.encoder.get());
+  const sat::SolverStats before = slot.encoder->solver().stats();
+  Status status = fn(slot.encoder.get());
+  SampleSolverDelta(counters_, before, slot.encoder->solver().stats());
+  return status;
 }
 
 Result<bool> Epoch::EnsureAllSolved(exec::ThreadPool* pool) {
@@ -80,9 +154,11 @@ Result<bool> Epoch::EnsureAllSolved(exec::ThreadPool* pool) {
     if (s < 0) {
       todo.push_back(c);
     } else if (s == 0) {
+      counters_->cache_hits->Increment();
       return false;  // a cached UNSAT answers without touching the pool
     }
   }
+  counters_->cache_hits->Increment(n - static_cast<int64_t>(todo.size()));
   if (todo.empty()) return true;
   // Solve the unknown components on the shared pool.  Per-task results
   // land in their own slots; the first UNSAT cancels the unclaimed rest,
@@ -100,7 +176,7 @@ Result<bool> Epoch::EnsureAllSolved(exec::ThreadPool* pool) {
           // built.
           ASSIGN_OR_RETURN(const core::ComponentChase* chase,
                            ChaseFixpoint(c));
-          counters_->chase_solves.fetch_add(1, std::memory_order_relaxed);
+          counters_->chase_solves->Increment();
           outcome[k] = chase->consistent;
           if (!chase->consistent) cancel.Cancel();
           return Status::OK();

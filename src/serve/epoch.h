@@ -60,21 +60,57 @@
 #include "src/core/decompose.h"
 #include "src/core/specification.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/metrics.h"
 
 namespace currency::serve {
 
-/// The session's observability counters, shared by all of its epochs
-/// (counters outlive any single epoch; cache hits and misses accumulate
-/// across Mutate).  Atomic because concurrent batches bump them.
+/// The session's registry instrument handles, shared by all of its epochs
+/// (instruments outlive any single epoch; cache hits and misses accumulate
+/// across Mutate).  Updates are relaxed atomics inside the instruments, so
+/// concurrent batches bump them without locks — exactly what the old
+/// atomic-int64 struct did, except the numbers now live in an
+/// obs::Registry where exposition, SessionStats and TenantStats all read
+/// the same values.
+///
+/// Bind() must run before the first Epoch::Build (CurrencySession's
+/// constructor does); every pointer is non-null afterwards.  `tenant`
+/// becomes the instruments' tenant label, and the SessionStats naming
+/// drift between base_solves / chase_solves is resolved by labels: both
+/// are series of currency_serve_component_base_solves_total, routing=sat
+/// vs routing=chase.
 struct SessionCounters {
-  std::atomic<int64_t> mutations{0};
-  std::atomic<int64_t> base_solves{0};
-  std::atomic<int64_t> merged_builds{0};
-  std::atomic<int64_t> chase_solves{0};
-  std::atomic<int64_t> last_reused{0};
-  std::atomic<int64_t> last_invalidated{0};
-  std::atomic<int64_t> last_chase_reused{0};
-  std::atomic<int64_t> last_chase_rechased{0};
+  // Monotonic counters.
+  obs::Counter* mutations = nullptr;
+  obs::Counter* base_solves = nullptr;    // {routing="sat"}
+  obs::Counter* chase_solves = nullptr;   // {routing="chase"}
+  obs::Counter* merged_builds = nullptr;
+  /// Component verdicts answered from the epoch's cached bit (no solve).
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* epoch_publishes = nullptr;
+  /// Components a chase-routing epoch still had to solve via SAT
+  /// (constrained, hence chase-ineligible).
+  obs::Counter* chase_sat_fallbacks = nullptr;
+  // SAT solver work, sampled as stats deltas at solve boundaries (the
+  // sat module itself stays observability-free).
+  obs::Counter* sat_propagations = nullptr;
+  obs::Counter* sat_conflicts = nullptr;
+  obs::Counter* sat_gc_runs = nullptr;
+  /// Aggregate clause-arena bytes across the session's cached solvers
+  /// (signed deltas: GC shrinks it).
+  obs::Gauge* sat_arena_bytes = nullptr;
+  // Chase fixpoint work, sampled when a fixpoint is computed.
+  obs::Counter* chase_passes = nullptr;
+  obs::Counter* chase_edges_expanded = nullptr;
+  // Last-Mutate adoption snapshot (gauges: not monotonic).
+  obs::Gauge* last_reused = nullptr;
+  obs::Gauge* last_invalidated = nullptr;
+  obs::Gauge* last_chase_reused = nullptr;
+  obs::Gauge* last_chase_rechased = nullptr;
+  obs::Gauge* epoch_version = nullptr;
+
+  /// Resolves every handle in `registry`, labelled {tenant=`tenant`}
+  /// (label omitted when `tenant` is empty).
+  void Bind(obs::Registry* registry, const std::string& tenant);
 };
 
 /// One snapshot: an owned specification copy, its decomposition, and the

@@ -60,6 +60,34 @@ CurrencySession::CurrencySession(const SessionOptions& options)
   enc_.copy_index = nullptr;
   enc_.chase_seed = nullptr;
   pool_ = exec::ResolvePool(options_.pool, options_.num_threads, own_pool_);
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry_ = own_registry_.get();
+  }
+  clock_ = obs::ResolveClock(options_.clock);
+  counters_.Bind(registry_, options_.instance_label);
+  obs::Labels tenant;
+  if (!options_.instance_label.empty()) {
+    tenant.push_back({"tenant", options_.instance_label});
+  }
+  auto procedure = [&](const char* name) {
+    obs::Labels labels = tenant;
+    labels.push_back({"procedure", name});
+    ProcedureInstruments p;
+    p.batches = registry_->GetCounter("currency_serve_batches_total", labels);
+    p.latency =
+        registry_->GetHistogram("currency_serve_batch_latency_ns", labels);
+    return p;
+  };
+  cps_ = procedure("cps");
+  cop_ = procedure("cop");
+  dcip_ = procedure("dcip");
+  ccqa_ = procedure("ccqa");
+  mutate_ = procedure("mutate");
+  stage_counters_ = {counters_.sat_propagations, counters_.sat_conflicts,
+                     counters_.chase_passes};
 }
 
 Result<std::unique_ptr<CurrencySession>> CurrencySession::Create(
@@ -76,6 +104,7 @@ Result<std::unique_ptr<CurrencySession>> CurrencySession::Create(
       session->current_,
       Epoch::Build(std::move(spec), session->enc_, options.use_chase_routing,
                    /*version=*/0, &session->counters_));
+  session->counters_.epoch_publishes->Increment();  // the seed epoch
   return session;
 }
 
@@ -89,18 +118,16 @@ const core::Specification& CurrencySession::spec() const {
 }
 
 SessionStats CurrencySession::stats() const {
+  // A thin view: every field is a registry instrument's current value.
   SessionStats s;
-  s.mutations = counters_.mutations.load(std::memory_order_relaxed);
-  s.base_solves = counters_.base_solves.load(std::memory_order_relaxed);
-  s.merged_builds = counters_.merged_builds.load(std::memory_order_relaxed);
-  s.chase_solves = counters_.chase_solves.load(std::memory_order_relaxed);
-  s.last_reused = counters_.last_reused.load(std::memory_order_relaxed);
-  s.last_invalidated =
-      counters_.last_invalidated.load(std::memory_order_relaxed);
-  s.last_chase_reused =
-      counters_.last_chase_reused.load(std::memory_order_relaxed);
-  s.last_chase_rechased =
-      counters_.last_chase_rechased.load(std::memory_order_relaxed);
+  s.mutations = counters_.mutations->Value();
+  s.base_solves = counters_.base_solves->Value();
+  s.merged_builds = counters_.merged_builds->Value();
+  s.chase_solves = counters_.chase_solves->Value();
+  s.last_reused = counters_.last_reused->Value();
+  s.last_invalidated = counters_.last_invalidated->Value();
+  s.last_chase_reused = counters_.last_chase_reused->Value();
+  s.last_chase_rechased = counters_.last_chase_rechased->Value();
   return s;
 }
 
@@ -111,12 +138,28 @@ int CurrencySession::num_components() const {
 int64_t CurrencySession::epoch_version() const { return Pin()->version(); }
 
 Result<bool> CurrencySession::CpsCheck() {
-  return Pin()->EnsureAllSolved(pool_);
+  obs::TraceSpan span(options_.tracer, options_.instance_label, "cps");
+  obs::ScopedTimer timer(cps_.latency, clock_);
+  cps_.batches->Increment();
+  std::shared_ptr<Epoch> epoch;
+  {
+    obs::TraceSpan::Stage stage("epoch_pin");
+    epoch = Pin();
+  }
+  obs::TraceSpan::Stage stage("solve", stage_counters_);
+  return epoch->EnsureAllSolved(pool_);
 }
 
 Result<std::vector<bool>> CurrencySession::CopBatch(
     const std::vector<core::CurrencyOrderQuery>& queries) {
-  std::shared_ptr<Epoch> epoch = Pin();
+  obs::TraceSpan span(options_.tracer, options_.instance_label, "cop");
+  obs::ScopedTimer timer(cop_.latency, clock_);
+  cop_.batches->Increment();
+  std::shared_ptr<Epoch> epoch;
+  {
+    obs::TraceSpan::Stage stage("epoch_pin");
+    epoch = Pin();
+  }
   const core::Specification& spec = epoch->spec();
   // Validate the whole batch up front, mirroring the one-shot API's
   // InvalidArgument behaviour (a malformed item fails the batch before
@@ -137,7 +180,11 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
       }
     }
   }
-  ASSIGN_OR_RETURN(bool consistent, epoch->EnsureAllSolved(pool_));
+  bool consistent = false;
+  {
+    obs::TraceSpan::Stage stage("base_solve", stage_counters_);
+    ASSIGN_OR_RETURN(consistent, epoch->EnsureAllSolved(pool_));
+  }
   std::vector<bool> out(queries.size(), true);
   if (!consistent) return out;  // Mod(S) = ∅: every order vacuously certain
 
@@ -177,6 +224,7 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
   // (deterministic), while refutations found concurrently by other
   // components are deliberately not consulted — cross-task peeking would
   // make each solver's call sequence depend on timing.
+  obs::TraceSpan::Stage stage("solve", stage_counters_);
   RETURN_IF_ERROR(FlipItemsPerComponent(
       pool_, by_component,
       [&](int c, const std::vector<Probe>& probes,
@@ -227,13 +275,24 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
 
 Result<std::vector<bool>> CurrencySession::DcipBatch(
     const std::vector<std::string>& relations) {
-  std::shared_ptr<Epoch> epoch = Pin();
+  obs::TraceSpan span(options_.tracer, options_.instance_label, "dcip");
+  obs::ScopedTimer timer(dcip_.latency, clock_);
+  dcip_.batches->Increment();
+  std::shared_ptr<Epoch> epoch;
+  {
+    obs::TraceSpan::Stage stage("epoch_pin");
+    epoch = Pin();
+  }
   const core::Specification& spec = epoch->spec();
   std::vector<int> inst_of(relations.size(), -1);
   for (size_t i = 0; i < relations.size(); ++i) {
     ASSIGN_OR_RETURN(inst_of[i], spec.InstanceIndex(relations[i]));
   }
-  ASSIGN_OR_RETURN(bool consistent, epoch->EnsureAllSolved(pool_));
+  bool consistent = false;
+  {
+    obs::TraceSpan::Stage stage("base_solve", stage_counters_);
+    ASSIGN_OR_RETURN(consistent, epoch->EnsureAllSolved(pool_));
+  }
   std::vector<bool> out(relations.size(), true);
   if (!consistent) return out;  // vacuous
 
@@ -250,6 +309,7 @@ Result<std::vector<bool>> CurrencySession::DcipBatch(
       by_component[c].push_back(Request{static_cast<int>(i), inst_of[i]});
     }
   }
+  obs::TraceSpan::Stage stage("solve", stage_counters_);
   RETURN_IF_ERROR(FlipItemsPerComponent(
       pool_, by_component,
       [&](int c, const std::vector<Request>& requests,
@@ -292,7 +352,14 @@ Result<std::vector<bool>> CurrencySession::DcipBatch(
 
 Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
     const std::vector<CcqaRequest>& requests) {
-  std::shared_ptr<Epoch> epoch = Pin();
+  obs::TraceSpan span(options_.tracer, options_.instance_label, "ccqa");
+  obs::ScopedTimer timer(ccqa_.latency, clock_);
+  ccqa_.batches->Increment();
+  std::shared_ptr<Epoch> epoch;
+  {
+    obs::TraceSpan::Stage stage("epoch_pin");
+    epoch = Pin();
+  }
   const core::Specification& spec = epoch->spec();
   std::vector<std::vector<int>> instances(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -305,7 +372,11 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
           "candidate tuple arity does not match query head");
     }
   }
-  ASSIGN_OR_RETURN(bool consistent, epoch->EnsureAllSolved(pool_));
+  bool consistent = false;
+  {
+    obs::TraceSpan::Stage stage("base_solve", stage_counters_);
+    ASSIGN_OR_RETURN(consistent, epoch->EnsureAllSolved(pool_));
+  }
   std::vector<CcqaResponse> out(requests.size());
   if (!consistent) {
     // Mod(S) = ∅: membership is vacuously true; the answer set is not a
@@ -351,6 +422,7 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
   // the session pool and fill only their own response slot.  SP-routed
   // requests instead assemble their instance's PO∞ from the warmed
   // fixpoints — read-only, so they parallelize the same way.
+  obs::TraceSpan::Stage stage("solve", stage_counters_);
   std::atomic<int64_t> merged{0};
   RETURN_IF_ERROR(pool_->ParallelFor(
       static_cast<int>(requests.size()), [&](int i) -> Status {
@@ -393,8 +465,7 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
         out[i].answers = std::move(answers);
         return Status::OK();
       }));
-  counters_.merged_builds.fetch_add(merged.load(std::memory_order_relaxed),
-                                    std::memory_order_relaxed);
+  counters_.merged_builds->Increment(merged.load(std::memory_order_relaxed));
   return out;
 }
 
@@ -431,6 +502,9 @@ int CurrencySession::AdoptSolvedVerdicts(
 }
 
 Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {
+  obs::TraceSpan span(options_.tracer, options_.instance_label, "mutate");
+  obs::ScopedTimer timer(mutate_.latency, clock_);
+  mutate_.batches->Increment();
   // One successor epoch is built at a time; concurrent Mutate callers
   // queue here while batches keep running on the published epoch.
   std::lock_guard<std::mutex> writer(writer_mu_);
@@ -440,7 +514,8 @@ Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {
   // contract of the in-place path.
   core::Specification next = old->spec();
   RETURN_IF_ERROR(next.ApplyTupleEdits(edits));
-  counters_.mutations.fetch_add(1, std::memory_order_relaxed);
+  counters_.mutations->Increment();
+  obs::TraceSpan::Stage stage("epoch_build");
   // Harvest the outgoing epoch into a fingerprint-keyed cache, then adopt
   // every component of the successor whose content fingerprint is
   // unchanged: its encoder (clauses, learnt clauses, variable layout),
@@ -474,12 +549,13 @@ Status CurrencySession::Mutate(const std::vector<core::TupleEdit>& edits) {
     ++reused;
     cache.erase(it);
   }
-  counters_.last_reused.store(reused, std::memory_order_relaxed);
-  counters_.last_invalidated.store(n - reused, std::memory_order_relaxed);
-  counters_.last_chase_reused.store(chase_reused, std::memory_order_relaxed);
-  counters_.last_chase_rechased.store(
-      epoch->decomposed().chase_routing() ? eligible - chase_reused : 0,
-      std::memory_order_relaxed);
+  counters_.last_reused->Set(reused);
+  counters_.last_invalidated->Set(n - reused);
+  counters_.last_chase_reused->Set(chase_reused);
+  counters_.last_chase_rechased->Set(
+      epoch->decomposed().chase_routing() ? eligible - chase_reused : 0);
+  counters_.epoch_version->Set(epoch->version());
+  counters_.epoch_publishes->Increment();
   {
     std::lock_guard<std::mutex> lock(epoch_mu_);
     current_ = std::move(epoch);

@@ -68,6 +68,9 @@
 #include "src/core/decompose.h"
 #include "src/core/specification.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/query/parser.h"
 #include "src/serve/epoch.h"
 
@@ -99,11 +102,33 @@ struct SessionOptions {
   /// encoding serves CPS, COP, DCIP and CCQA); restrict_to / copy_index /
   /// chase_seed are session-managed and ignored.
   core::Encoder::Options encoder;
+  /// Metrics registry the session publishes its currency_* instruments
+  /// into (not owned; must outlive the session).  Null: the session
+  /// creates a private registry — reachable via registry() — so
+  /// independent sessions never mix numbers.  The SessionManager injects
+  /// its shared registry here, labelled per tenant via instance_label.
+  obs::Registry* registry = nullptr;
+  /// Value of the instruments' `tenant` label; empty omits the label
+  /// (a standalone single-tenant session).
+  std::string instance_label;
+  /// Request tracer for TraceSpan roots and stage timings (not owned;
+  /// must outlive the session).  Null: no tracing.  Stages recorded by
+  /// the session attach to whatever root span is open on the calling
+  /// thread, so a manager-owned root subsumes the session's own.
+  obs::Tracer* tracer = nullptr;
+  /// Time source for the batch latency histograms; null means the
+  /// monotonic wall clock.  Ignored under CURRENCY_OBS_OFF (timing
+  /// compiles out; counters stay).
+  const obs::Clock* clock = nullptr;
 };
 
 /// Observability counters (monotonic unless noted).  A stats() call
 /// returns a snapshot; with concurrent batches in flight the fields are
-/// individually accurate but not mutually atomic.
+/// individually accurate but not mutually atomic.  This struct is a thin
+/// view over the session's registry instruments (SessionCounters): the
+/// same numbers appear in registry()->ExposeText() under the
+/// currency_serve_* families, with base_solves and chase_solves unified
+/// as currency_serve_component_base_solves_total{routing=sat|chase}.
 struct SessionStats {
   /// Mutate calls applied successfully.
   int64_t mutations = 0;
@@ -167,6 +192,9 @@ class CurrencySession {
   /// should copy.
   const core::Specification& spec() const;
   SessionStats stats() const;
+  /// The registry this session's instruments live in: the injected one,
+  /// or the session's private registry when none was injected.
+  obs::Registry* registry() const { return registry_; }
   int num_components() const;
   /// The current epoch's version: 0 at creation, +1 per successful
   /// Mutate.  Two reads bracketing a batch bound which snapshots the
@@ -237,7 +265,19 @@ class CurrencySession {
   /// Owned pool when options_.pool is null.
   std::optional<exec::ThreadPool> own_pool_;
   exec::ThreadPool* pool_ = nullptr;
+  /// Owned registry when options_.registry is null.
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Registry* registry_ = nullptr;
+  const obs::Clock* clock_ = nullptr;
   SessionCounters counters_;
+  /// Per-procedure batch instruments, resolved once at construction.
+  struct ProcedureInstruments {
+    obs::Counter* batches = nullptr;    // currency_serve_batches_total
+    obs::Histogram* latency = nullptr;  // currency_serve_batch_latency_ns
+  };
+  ProcedureInstruments cps_, cop_, dcip_, ccqa_, mutate_;
+  /// Counter handles the solve stages snapshot for their trace deltas.
+  obs::StageCounters stage_counters_;
   /// Guards current_ (pin = shared_ptr copy, publish = swap).
   mutable std::mutex epoch_mu_;
   std::shared_ptr<Epoch> current_;

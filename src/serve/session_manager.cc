@@ -7,7 +7,26 @@
 namespace currency::serve {
 
 SessionManager::SessionManager(const ManagerOptions& options)
-    : options_(options), pool_(options.num_threads) {}
+    : options_(options),
+      own_registry_(options.registry == nullptr ? new obs::Registry()
+                                                : nullptr),
+      registry_(options.registry != nullptr ? options.registry
+                                            : own_registry_.get()),
+      tracer_(std::make_unique<obs::Tracer>(options.trace)),
+      pool_(options.num_threads) {
+  exec::ThreadPool::Instruments pool_instruments;
+  pool_instruments.regions =
+      registry_->GetCounter("currency_exec_pool_regions_total");
+  pool_instruments.tasks =
+      registry_->GetCounter("currency_exec_pool_tasks_total");
+  pool_instruments.open_regions =
+      registry_->GetGauge("currency_exec_pool_open_regions");
+  pool_instruments.busy_workers =
+      registry_->GetGauge("currency_exec_pool_busy_workers");
+  pool_.BindInstruments(pool_instruments);
+  registry_->GetGauge("currency_exec_pool_threads")
+      ->Set(pool_.num_threads());
+}
 
 Result<std::unique_ptr<SessionManager>> SessionManager::Create(
     const ManagerOptions& options) {
@@ -22,6 +41,8 @@ Result<std::unique_ptr<SessionManager>> SessionManager::Open(
   ASSIGN_OR_RETURN(std::unique_ptr<SessionManager> manager, Create(options));
   wal::WalOptions wal_options;
   wal_options.segment_bytes = options.segment_bytes;
+  wal_options.registry = manager->registry_;
+  wal_options.clock = options.trace.clock;
   ASSIGN_OR_RETURN(manager->wal_, wal::LogWriter::Open(dir, wal_options));
   wal::RecoveredLog recovered = manager->wal_->TakeRecovered();
   // Phase 1: the warm snapshot re-registers every tenant (same choke
@@ -90,6 +111,13 @@ Status SessionManager::ApplyCommand(Command command) {
       SessionOptions session_options = options_.session;
       session_options.pool = &pool_;
       session_options.num_threads = pool_.num_threads();
+      // Every tenant session publishes into the manager's registry,
+      // distinguished by the tenant label, and shares the manager's
+      // tracer and clock.
+      session_options.registry = registry_;
+      session_options.instance_label = tenant;
+      session_options.tracer = tracer_.get();
+      session_options.clock = options_.trace.clock;
       if (quotas.max_current_instances > 0 &&
           quotas.max_current_instances <
               session_options.max_current_instances) {
@@ -105,9 +133,12 @@ Status SessionManager::ApplyCommand(Command command) {
             std::to_string(session->num_components()) + " > " +
             std::to_string(quotas.max_components));
       }
+      auto entry = std::make_shared<Tenant>(std::move(session), quotas);
+      // Bind before publishing: once the tenant is in the map another
+      // thread may Enter its gate, and BindInstruments must not race.
+      BindTenantInstruments(tenant, entry.get());
       std::lock_guard<std::mutex> lock(mu_);
-      auto [it, inserted] = tenants_.try_emplace(
-          tenant, std::make_shared<Tenant>(std::move(session), quotas));
+      auto [it, inserted] = tenants_.try_emplace(tenant, std::move(entry));
       (void)it;
       if (!inserted) {
         return Status::FailedPrecondition("tenant '" + tenant +
@@ -209,6 +240,25 @@ Status SessionManager::WriteSnapshotLocked() {
   return Status::OK();
 }
 
+void SessionManager::BindTenantInstruments(const std::string& tenant,
+                                           Tenant* entry) {
+  const obs::Labels labels = {{"tenant", tenant}};
+  exec::AdmissionGate::Instruments gate;
+  gate.admitted =
+      registry_->GetCounter("currency_exec_admission_admitted_total", labels);
+  gate.queued =
+      registry_->GetCounter("currency_exec_admission_queued_total", labels);
+  gate.rejected =
+      registry_->GetCounter("currency_exec_admission_rejected_total", labels);
+  gate.queue_depth =
+      registry_->GetGauge("currency_exec_admission_queue_depth", labels);
+  gate.queue_high_water = registry_->GetGauge(
+      "currency_exec_admission_queue_high_water", labels);
+  entry->gate.BindInstruments(gate);
+  entry->admission_wait =
+      registry_->GetHistogram("currency_serve_admission_wait_ns", labels);
+}
+
 Result<std::shared_ptr<SessionManager::Tenant>> SessionManager::Find(
     const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -241,7 +291,8 @@ Result<TenantStats> SessionManager::StatsFor(const std::string& tenant) const {
   TenantStats stats;
   stats.active_batches = entry->gate.active();
   stats.queued_batches = entry->gate.waiting();
-  stats.rejected_batches = entry->rejected.load(std::memory_order_relaxed);
+  stats.queue_depth_high_water = entry->gate.queue_high_water();
+  stats.rejected_batches = entry->gate.rejected();
   stats.session = entry->session->stats();
   return stats;
 }
@@ -253,14 +304,20 @@ void SessionManager::SetAdmittedHookForTesting(
 }
 
 template <typename Fn>
-auto SessionManager::WithAdmission(const std::string& tenant, const Fn& fn)
+auto SessionManager::WithAdmission(const std::string& tenant,
+                                   const char* procedure, const Fn& fn)
     -> decltype(fn(std::declval<CurrencySession&>())) {
   ASSIGN_OR_RETURN(std::shared_ptr<Tenant> entry, Find(tenant));
-  Status admitted = entry->gate.Enter();
-  if (!admitted.ok()) {
-    entry->rejected.fetch_add(1, std::memory_order_relaxed);
-    return admitted;
-  }
+  // The manager's root span owns the request's trace; the session's own
+  // TraceSpan (opened inside fn) nests under it and goes inert, while
+  // the session's stages attach here.
+  obs::TraceSpan span(tracer_.get(), tenant, procedure);
+  Status admitted = [&] {
+    obs::TraceSpan::Stage stage("admission_wait");
+    obs::ScopedTimer timer(entry->admission_wait, options_.trace.clock);
+    return entry->gate.Enter();  // counts admitted/queued/rejected itself
+  }();
+  if (!admitted.ok()) return admitted;
   std::function<void(const std::string&)> hook;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -273,28 +330,29 @@ auto SessionManager::WithAdmission(const std::string& tenant, const Fn& fn)
 }
 
 Result<bool> SessionManager::CpsCheck(const std::string& tenant) {
-  return WithAdmission(
-      tenant, [](CurrencySession& session) { return session.CpsCheck(); });
+  return WithAdmission(tenant, "cps", [](CurrencySession& session) {
+    return session.CpsCheck();
+  });
 }
 
 Result<std::vector<bool>> SessionManager::CopBatch(
     const std::string& tenant,
     const std::vector<core::CurrencyOrderQuery>& queries) {
-  return WithAdmission(tenant, [&](CurrencySession& session) {
+  return WithAdmission(tenant, "cop", [&](CurrencySession& session) {
     return session.CopBatch(queries);
   });
 }
 
 Result<std::vector<bool>> SessionManager::DcipBatch(
     const std::string& tenant, const std::vector<std::string>& relations) {
-  return WithAdmission(tenant, [&](CurrencySession& session) {
+  return WithAdmission(tenant, "dcip", [&](CurrencySession& session) {
     return session.DcipBatch(relations);
   });
 }
 
 Result<std::vector<CcqaResponse>> SessionManager::CcqaBatch(
     const std::string& tenant, const std::vector<CcqaRequest>& requests) {
-  return WithAdmission(tenant, [&](CurrencySession& session) {
+  return WithAdmission(tenant, "ccqa", [&](CurrencySession& session) {
     return session.CcqaBatch(requests);
   });
 }
@@ -304,7 +362,7 @@ Status SessionManager::Mutate(const std::string& tenant,
   // Admission first (quota bracket), then the durable commit: the
   // admission slot is held across apply + append + fsync, so a tenant's
   // in-flight budget also bounds its outstanding log work.
-  return WithAdmission(tenant, [&](CurrencySession&) {
+  return WithAdmission(tenant, "mutate", [&](CurrencySession&) {
     Command command;
     command.type = Command::Type::kMutate;
     command.tenant = tenant;

@@ -65,6 +65,8 @@
 #include "src/common/result.h"
 #include "src/exec/semaphore.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/command.h"
 #include "src/serve/session.h"
 #include "src/wal/log.h"
@@ -86,14 +88,32 @@ struct ManagerOptions {
   int64_t snapshot_every = 0;
   /// Durable managers only: log segment rotation threshold in bytes.
   uint64_t segment_bytes = 8u << 20;
+  /// Metrics registry shared by the manager, its pool, its WAL and every
+  /// tenant session (labelled per tenant).  Not owned; must outlive the
+  /// manager.  Null: the manager creates a private registry, reachable
+  /// via registry() — the default keeps independent managers (and tests)
+  /// from mixing numbers.
+  obs::Registry* registry = nullptr;
+  /// Request tracing configuration; the manager owns one obs::Tracer
+  /// built from this.  Disabled by default — an enabled tracer records a
+  /// TraceSpan per admitted batch (admission wait, epoch pin, solve with
+  /// SAT/chase counter deltas) into the bounded ring, and slow requests
+  /// into the slow log.  Tracing never changes answers or enumeration
+  /// order; see src/obs/trace.h for the cost contract.
+  obs::TraceOptions trace;
 };
 
-/// A point-in-time view of one tenant's admission state.
+/// A point-in-time view of one tenant's admission state — a thin
+/// snapshot over the tenant's AdmissionGate and session instruments (the
+/// same numbers appear in MetricsReport() under currency_exec_admission_*
+/// and currency_serve_*, labelled with the tenant name).
 struct TenantStats {
   /// Batches admitted and currently running.
   int active_batches = 0;
   /// Batches blocked in the admission queue.
   int queued_batches = 0;
+  /// Largest admission-queue depth ever observed (high-water mark).
+  int queue_depth_high_water = 0;
   /// Batches rejected over quota (monotonic).
   int64_t rejected_batches = 0;
   /// The tenant session's counters.
@@ -141,6 +161,21 @@ class SessionManager {
 
   Result<TenantStats> StatsFor(const std::string& tenant) const;
 
+  /// The registry every layer under this manager publishes into: tenant
+  /// sessions (currency_serve_*, currency_sat_*, currency_chase_*),
+  /// admission gates (currency_exec_admission_*), the shared pool
+  /// (currency_exec_pool_*) and the WAL (currency_wal_*).
+  obs::Registry* registry() const { return registry_; }
+  /// The manager's tracer; enable via ManagerOptions::trace or
+  /// tracer()->set_enabled(true) at runtime.
+  obs::Tracer* tracer() const { return tracer_.get(); }
+  /// One coherent metrics snapshot across serve/sat/chase/wal/exec —
+  /// registry()->Expose(format) by another name.
+  std::string MetricsReport(
+      obs::ExpositionFormat format = obs::ExpositionFormat::kText) const {
+    return registry_->Expose(format);
+  }
+
   /// Admission-controlled batch entry points: each admits the caller
   /// through the tenant's gate (blocking briefly in the bounded queue,
   /// ResourceExhausted beyond it), runs the batch on the tenant's
@@ -183,17 +218,28 @@ class SessionManager {
           gate(q.max_active_batches, q.max_queued_batches) {}
     std::shared_ptr<CurrencySession> session;
     TenantQuotas quotas;
+    /// Owns the tenant's admission counters (admitted/queued/rejected,
+    /// queue high-water); StatsFor reads them through the gate.
     exec::AdmissionGate gate;
-    std::atomic<int64_t> rejected{0};
+    /// currency_serve_admission_wait_ns{tenant=...}; timed around every
+    /// gate.Enter (compiles out under CURRENCY_OBS_OFF).
+    obs::Histogram* admission_wait = nullptr;
   };
 
   explicit SessionManager(const ManagerOptions& options);
 
   Result<std::shared_ptr<Tenant>> Find(const std::string& tenant) const;
 
-  /// Admission bracket shared by every wrapper: admit, hook, run, leave.
+  /// Binds the tenant's gate and wait-time instruments to registry_,
+  /// labelled {tenant=...}.  Runs before the tenant is published.
+  void BindTenantInstruments(const std::string& tenant, Tenant* entry);
+
+  /// Admission bracket shared by every wrapper: admit, hook, run, leave —
+  /// wrapped in a TraceSpan root (`procedure` names it) whose first stage
+  /// is the admission wait.
   template <typename Fn>
-  auto WithAdmission(const std::string& tenant, const Fn& fn)
+  auto WithAdmission(const std::string& tenant, const char* procedure,
+                     const Fn& fn)
       -> decltype(fn(std::declval<CurrencySession&>()));
 
   /// THE choke point: every serving-state mutation — live, replayed or
@@ -210,6 +256,11 @@ class SessionManager {
   Status WriteSnapshotLocked();
 
   ManagerOptions options_;
+  /// Owned registry when options_.registry is null.  Declared before
+  /// pool_ (whose instruments live in it) and used by everything below.
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<obs::Tracer> tracer_;
   exec::ThreadPool pool_;
   mutable std::mutex mu_;  // guards tenants_ and hook_
   std::map<std::string, std::shared_ptr<Tenant>> tenants_;

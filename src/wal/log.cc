@@ -13,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/wal/crc32.h"
 
 namespace currency::wal {
@@ -335,10 +336,38 @@ Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& dir,
     RETURN_IF_ERROR(w->WriteManifest());
   }
   w->SweepUnreferenced();
+  w->BindInstruments();
   return w;
 }
 
+void LogWriter::BindInstruments() {
+  obs::Registry* registry = options_.registry;
+  if (registry == nullptr) return;
+  clock_ = obs::ResolveClock(options_.clock);
+  append_latency_ns_ =
+      registry->GetHistogram("currency_wal_append_latency_ns", {});
+  fsync_latency_ns_ =
+      registry->GetHistogram("currency_wal_fsync_latency_ns", {});
+  appended_records_ =
+      registry->GetCounter("currency_wal_appended_records_total", {});
+  appended_bytes_ =
+      registry->GetCounter("currency_wal_appended_bytes_total", {});
+  fsyncs_ = registry->GetCounter("currency_wal_fsyncs_total", {});
+  snapshot_writes_ =
+      registry->GetCounter("currency_wal_snapshot_writes_total", {});
+  // Recovery outcomes, recorded once per Open.
+  registry->GetCounter("currency_wal_replayed_records_total", {})
+      ->Increment(static_cast<int64_t>(recovered_.records.size()));
+  registry->GetCounter("currency_wal_truncated_bytes_total", {})
+      ->Increment(static_cast<int64_t>(recovered_.dropped_bytes));
+  if (recovered_.has_snapshot) {
+    registry->GetCounter("currency_wal_snapshot_restores_total", {})
+        ->Increment();
+  }
+}
+
 Result<uint64_t> LogWriter::Append(std::string_view payload) {
+  obs::ScopedTimer timer(append_latency_ns_, clock_);
   if (payload.size() > kMaxRecordBytes) {
     return Status::InvalidArgument("wal: record payload exceeds 1 GiB");
   }
@@ -355,13 +384,19 @@ Result<uint64_t> LogWriter::Append(std::string_view payload) {
                             dir_ + "/" + segments_.back().file));
   segment_size_ += rec.size();
   last_seq_ = seq;
+  if (appended_records_ != nullptr) {
+    appended_records_->Increment();
+    appended_bytes_->Increment(static_cast<int64_t>(rec.size()));
+  }
   return seq;
 }
 
 Status LogWriter::Sync() {
+  obs::ScopedTimer timer(fsync_latency_ns_, clock_);
   if (::fsync(fd_) != 0) {
     return IoError("fsync", dir_ + "/" + segments_.back().file);
   }
+  if (fsyncs_ != nullptr) fsyncs_->Increment();
   return Status::OK();
 }
 
@@ -407,6 +442,7 @@ Status LogWriter::WriteSnapshot(std::string_view payload) {
   if (!old_snapshot.empty()) {
     ::unlink((dir_ + "/" + old_snapshot).c_str());
   }
+  if (snapshot_writes_ != nullptr) snapshot_writes_->Increment();
   return Status::OK();
 }
 

@@ -47,6 +47,8 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
 
 namespace currency::wal {
 
@@ -74,6 +76,15 @@ struct RecoveredLog {
 struct WalOptions {
   /// Rotate to a new segment once the current one exceeds this size.
   uint64_t segment_bytes = 8u << 20;
+  /// Optional metrics registry: the writer registers the currency_wal_*
+  /// families there (append/fsync latency histograms, record/byte/fsync/
+  /// snapshot counters, recovery replay/truncation counters).  Null means
+  /// no metrics.
+  obs::Registry* registry = nullptr;
+  /// Time source for the latency histograms; null means the monotonic
+  /// wall clock.  Ignored without a registry or under CURRENCY_OBS_OFF
+  /// (latency timing compiles out; counters stay).
+  const obs::Clock* clock = nullptr;
 };
 
 /// Read-only recovery: scans a log directory and returns the longest
@@ -134,6 +145,12 @@ class LogWriter {
   LogWriter(std::string dir, const WalOptions& options)
       : dir_(dir), options_(options) {}
 
+  /// Registers the currency_wal_* instrument families in
+  /// options_.registry and records what recovery found (replayed
+  /// records, truncated bytes, snapshot restores).  No-op without a
+  /// registry.
+  void BindInstruments();
+
   Status WriteManifest() const;
   /// Creates segment `first_seq`, making it current (header written and
   /// synced); appends it to segments_ and republishes the manifest.
@@ -153,6 +170,15 @@ class LogWriter {
   int fd_ = -1;                 // current (last) segment, O_WRONLY at end
   uint64_t segment_size_ = 0;   // bytes written to the current segment
   uint64_t last_seq_ = 0;
+
+  // Registry instruments (all null without a registry in the options).
+  const obs::Clock* clock_ = nullptr;
+  obs::Histogram* append_latency_ns_ = nullptr;
+  obs::Histogram* fsync_latency_ns_ = nullptr;
+  obs::Counter* appended_records_ = nullptr;
+  obs::Counter* appended_bytes_ = nullptr;
+  obs::Counter* fsyncs_ = nullptr;
+  obs::Counter* snapshot_writes_ = nullptr;
 };
 
 }  // namespace currency::wal

@@ -22,6 +22,7 @@
 #include "src/core/certain_order.h"
 #include "src/core/consistency.h"
 #include "src/core/deterministic.h"
+#include "src/obs/trace.h"
 #include "src/query/parser.h"
 #include "tests/fixtures.h"
 
@@ -218,6 +219,59 @@ TEST(ParallelEquivalence, FirstUnsatCancellationIsDeterministic) {
     ASSERT_TRUE(outcome.ok());
     EXPECT_FALSE(outcome->consistent) << "threads=" << threads;
     EXPECT_EQ(outcome->components, 25);
+  }
+}
+
+// An active trace root on the calling thread must be invisible to the
+// parallel solvers: stages opened on pool worker threads are inert by
+// design (src/obs/trace.h), and time never flows back into control flow,
+// so witnesses and enumeration orders stay bit-identical whether or not
+// a span is live — at every thread count.
+TEST(ParallelEquivalence, ActiveTraceRootDoesNotPerturbSolvers) {
+  Specification spec = MakeRandomSpec(4242, /*with_copy=*/true,
+                                      /*with_constraints=*/true,
+                                      /*free_fraction=*/0.5);
+  obs::TraceOptions trace_options;
+  trace_options.enabled = true;
+  obs::Tracer tracer(trace_options);
+  std::optional<std::string> baseline_witness;
+  std::optional<std::vector<std::string>> baseline_order;
+  for (int threads : kThreadCounts) {
+    for (bool traced : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " traced=" + std::to_string(traced));
+      std::optional<obs::TraceSpan> span;
+      if (traced) span.emplace(&tracer, "test", "equivalence");
+
+      CpsOptions cps;
+      cps.use_ptime_path_without_constraints = false;
+      cps.want_witness = true;
+      cps.num_threads = threads;
+      auto outcome = DecideConsistency(spec, cps);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      ASSERT_TRUE(outcome->consistent);
+      std::string witness = CanonicalCompletion(*outcome->witness);
+      if (!baseline_witness.has_value()) {
+        baseline_witness = witness;
+      } else {
+        EXPECT_EQ(witness, *baseline_witness);
+      }
+
+      CcqaOptions ccqa;
+      ccqa.num_threads = threads;
+      std::vector<std::string> order;
+      auto count = ForEachCurrentInstance(
+          spec, ccqa, [&](const query::Database& db) {
+            order.push_back(CanonicalDb(db));
+            return true;
+          });
+      ASSERT_TRUE(count.ok()) << count.status();
+      if (!baseline_order.has_value()) {
+        baseline_order = order;
+      } else {
+        EXPECT_EQ(order, *baseline_order);
+      }
+    }
   }
 }
 

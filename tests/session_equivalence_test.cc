@@ -23,6 +23,7 @@
 #include "src/core/certain_order.h"
 #include "src/core/consistency.h"
 #include "src/core/deterministic.h"
+#include "src/obs/trace.h"
 #include "src/query/parser.h"
 #include "src/serve/session.h"
 #include "tests/fixtures.h"
@@ -251,6 +252,110 @@ TEST_P(SessionEquivalence, BatchesMatchFreshSolvesAcrossMutations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, SessionEquivalence, ::testing::Range(0, 8));
+
+/// Serializes every batch answer a session gives (CPS, COP, DCIP, CCQA
+/// answer sets and memberships) into one comparable transcript.
+std::string BatchTranscript(CurrencySession* session) {
+  std::string out;
+  auto cps = session->CpsCheck();
+  out += "cps=" + std::string(cps.ok() ? (*cps ? "1" : "0") : "E") + ";";
+  std::vector<core::CurrencyOrderQuery> queries = MakeCopQueries();
+  const Relation& rel = session->spec().instance(0).relation();
+  for (auto& q : queries) {
+    for (auto& p : q.pairs) {
+      p.before = p.before % rel.size();
+      p.after = p.after % rel.size();
+    }
+  }
+  auto cop = session->CopBatch(queries);
+  out += "cop=";
+  if (cop.ok()) {
+    for (bool b : *cop) out += b ? "1" : "0";
+  } else {
+    out += "E";
+  }
+  auto dcip = session->DcipBatch({"R"});
+  out += ";dcip=";
+  out += dcip.ok() ? ((*dcip)[0] ? "1" : "0") : "E";
+  query::Query q = query::ParseQuery("Q(x) := EXISTS y: R('e0', x, y)").value();
+  std::vector<CcqaRequest> requests;
+  requests.push_back(CcqaRequest{q, std::nullopt});
+  for (int k = 0; k < 4; ++k) {
+    requests.push_back(CcqaRequest{q, Tuple({Value(k)})});
+  }
+  auto ccqa = session->CcqaBatch(requests);
+  out += ";ccqa=";
+  if (!ccqa.ok()) {
+    out += "E";
+    return out;
+  }
+  for (const CcqaResponse& r : *ccqa) {
+    out += r.vacuous ? "v" : ".";
+    if (r.is_certain.has_value()) out += *r.is_certain ? "1" : "0";
+    if (r.answers.has_value()) {
+      out += "{";
+      for (const Tuple& t : *r.answers) out += t.ToString() + ",";
+      out += "}";
+    }
+    out += "|";
+  }
+  return out;
+}
+
+// Tracing must not perturb anything: a session running under a live,
+// enabled tracer (spans opened, stages attached, timers firing) must
+// produce a bit-identical batch transcript to an untraced session over
+// the same specification and edit sequence, at every thread count.
+TEST(SessionEquivalence, TracingDoesNotPerturbAnswers) {
+  for (int variant : {1, 5}) {
+    bool with_copy = variant & 1;
+    bool with_constraints = (variant & 2) || variant >= 4;
+    double free_fraction = variant >= 4 ? 0.5 : 0.0;
+    core::Specification spec =
+        MakeRandomSpec(99 * 1237 + variant, with_copy, with_constraints,
+                       free_fraction);
+    for (int threads : kThreadCounts) {
+      SCOPED_TRACE("variant=" + std::to_string(variant) +
+                   " threads=" + std::to_string(threads));
+      obs::TraceOptions trace_options;
+      trace_options.enabled = true;
+      trace_options.slow_threshold_ns = 0;  // everything hits the slow log
+      obs::Tracer tracer(trace_options);
+
+      auto make_session = [&](obs::Tracer* t) {
+        SessionOptions options;
+        options.num_threads = threads;
+        options.tracer = t;
+        auto session = CurrencySession::Create(spec, options);
+        EXPECT_TRUE(session.ok()) << session.status();
+        return std::move(session).value();
+      };
+      auto plain = make_session(nullptr);
+      auto traced = make_session(&tracer);
+      if (::testing::Test::HasFailure()) return;
+
+      EXPECT_EQ(BatchTranscript(traced.get()), BatchTranscript(plain.get()));
+      // Same accepted/rejected mutation outcomes, same post-edit answers.
+      std::mt19937 rng(variant * 53 + threads);
+      for (int round = 0; round < 2; ++round) {
+        std::vector<core::TupleEdit> edits = MakeRandomEdits(plain->spec(),
+                                                             rng);
+        Status st_plain = plain->Mutate(edits);
+        Status st_traced = traced->Mutate(edits);
+        EXPECT_EQ(st_plain.code(), st_traced.code());
+        EXPECT_EQ(BatchTranscript(traced.get()),
+                  BatchTranscript(plain.get()))
+            << "round=" << round;
+      }
+#ifndef CURRENCY_OBS_OFF
+      // The traced session really traced: one root per batch call (4 per
+      // transcript × 3 transcripts) plus one per Mutate.
+      EXPECT_EQ(tracer.recorded_traces(), 14);
+      EXPECT_FALSE(tracer.SlowLog().empty());
+#endif
+    }
+  }
+}
 
 }  // namespace
 }  // namespace currency::serve
