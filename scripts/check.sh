@@ -18,6 +18,8 @@
 # chase_routing_equivalence_test (chase-routed vs forced-SAT answers,
 # including the per-component fixpoint slots confined to pool tasks),
 # sat_metamorphic_test (arena compaction inside pooled session tasks),
+# portfolio_test (first-verdict-wins races over the shared pool, where
+# the cancellation flag and verdict slots are the contended state),
 # wal_recovery_test (the durable commit path: concurrent reader
 # batches racing logged Mutates, where log_mu_ linearizes apply+append
 # against the snapshot-isolated readers), and obs_test (lock-free
@@ -27,7 +29,8 @@
 #
 # The ASan+UBSan pass (CURRENCY_ASAN, a third build tree) runs the serve
 # and exec suites plus obs_test, chase_routing_equivalence_test,
-# sat_metamorphic_test, wire_test and wal_recovery_test: the session
+# sat_metamorphic_test, portfolio_test (rival solver lifetimes end at
+# cancellation), wire_test and wal_recovery_test: the session
 # layer moves encoders AND chase fixpoints between epochs and hands
 # borrowed pools/encoders across threads, the SAT core's garbage
 # collector relocates every clause and rewrites watcher/reason
@@ -59,7 +62,7 @@ cmake --build "$tsan_dir" -j "$(nproc)" \
   --target exec_test obs_test parallel_equivalence_test serve_test \
            session_equivalence_test concurrent_session_test \
            chase_routing_equivalence_test sat_metamorphic_test \
-           wire_test wal_recovery_test
+           portfolio_test wire_test wal_recovery_test
 "$tsan_dir/tests/exec_test"
 "$tsan_dir/tests/obs_test"
 "$tsan_dir/tests/parallel_equivalence_test"
@@ -68,6 +71,7 @@ cmake --build "$tsan_dir" -j "$(nproc)" \
 "$tsan_dir/tests/concurrent_session_test"
 "$tsan_dir/tests/chase_routing_equivalence_test"
 "$tsan_dir/tests/sat_metamorphic_test"
+"$tsan_dir/tests/portfolio_test"
 (cd "$tsan_dir/tests" && ./wire_test && ./wal_recovery_test)
 
 asan_dir="${build_dir}-asan"
@@ -79,7 +83,7 @@ cmake -B "$asan_dir" -S . \
 cmake --build "$asan_dir" -j "$(nproc)" \
   --target exec_test obs_test serve_test session_equivalence_test \
            concurrent_session_test chase_routing_equivalence_test \
-           sat_metamorphic_test wire_test wal_recovery_test
+           sat_metamorphic_test portfolio_test wire_test wal_recovery_test
 "$asan_dir/tests/exec_test"
 "$asan_dir/tests/obs_test"
 "$asan_dir/tests/serve_test"
@@ -87,4 +91,5 @@ cmake --build "$asan_dir" -j "$(nproc)" \
 "$asan_dir/tests/concurrent_session_test"
 "$asan_dir/tests/chase_routing_equivalence_test"
 "$asan_dir/tests/sat_metamorphic_test"
+"$asan_dir/tests/portfolio_test"
 (cd "$asan_dir/tests" && ./wire_test && ./wal_recovery_test)

@@ -52,7 +52,8 @@ Result<bool> IsCertainOrder(const Specification& spec,
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =
         exec::ResolvePool(options.pool, options.num_threads, local_pool);
-    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, pool));
+    ASSIGN_OR_RETURN(bool consistent,
+                     decomposed->SolveAll({}, pool, &options.portfolio));
     if (!consistent) return true;  // Mod(S) = ∅: vacuously certain
     // A reflexive pair is refuted structurally — no solver involved, so
     // answer first (the SAT probes below could only also answer false).
@@ -71,11 +72,22 @@ Result<bool> IsCertainOrder(const Specification& spec,
           inst, rel.tuple(p.before).eid());
       by_component[component].push_back(&p);
     }
+    // Dominant components (PortfolioEligible, never chase-routed) leave
+    // the ParallelFor: their probes race diversified solvers through the
+    // component portfolio, which owns the pool, so they run sequentially
+    // after the regular groups (ParallelFor regions must not nest).
     std::vector<std::pair<int, const std::vector<const RequiredPair*>*>>
         groups;
+    std::vector<std::pair<int, const std::vector<const RequiredPair*>*>>
+        dominant;
     groups.reserve(by_component.size());
     for (const auto& [component, pairs] : by_component) {
-      groups.emplace_back(component, &pairs);
+      if (decomposed->PortfolioEligible(component, &options.portfolio,
+                                        pool)) {
+        dominant.emplace_back(component, &pairs);
+      } else {
+        groups.emplace_back(component, &pairs);
+      }
     }
     std::vector<char> refuted(groups.size(), 0);
     exec::CancellationToken cancel;
@@ -123,6 +135,27 @@ Result<bool> IsCertainOrder(const Specification& spec,
         &cancel));
     for (char r : refuted) {
       if (r) return false;
+    }
+    // Dominant-component probes: same pair order, same verdicts — only
+    // the time to each verdict changes, so the COP answer is identical
+    // to the single-solver path.
+    for (const auto& [component, pairs] : dominant) {
+      ASSIGN_OR_RETURN(Encoder * encoder,
+                       decomposed->ComponentEncoder(component));
+      ASSIGN_OR_RETURN(
+          sat::Portfolio * race,
+          decomposed->ComponentPortfolio(component, options.portfolio, pool));
+      for (const RequiredPair* p : *pairs) {
+        if (!encoder->HasPairVar(inst, p->before, p->after)) {
+          return false;  // cross-entity pairs are never comparable
+        }
+        sat::Lit lit = encoder->OrdLit(inst, p->attr, p->before, p->after);
+        ASSIGN_OR_RETURN(sat::SolveResult verdict,
+                         race->Solve({sat::Negate(lit)}));
+        if (verdict == sat::SolveResult::kSat) {
+          return false;  // a completion orders them the other way
+        }
+      }
     }
     return true;
   }

@@ -15,6 +15,7 @@
 #include "src/common/result.h"
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
+#include "src/sat/portfolio.h"
 
 namespace currency::exec {
 class ThreadPool;
@@ -57,6 +58,13 @@ struct CopOptions {
   /// Optional caller-owned pool reused across calls (overrides
   /// `num_threads`; not owned).  See CpsOptions::pool.
   exec::ThreadPool* pool = nullptr;
+  /// Verdict-deterministic portfolio racing for dominant components (off
+  /// by default): the vacuity base solves and the refutation probes of
+  /// components with at least `portfolio.min_component_size` entity
+  /// groups race diversified solvers, first verdict wins.  Probe answers
+  /// are SAT/UNSAT verdicts, so the COP answer is unchanged for every
+  /// thread count and seed set.
+  sat::PortfolioOptions portfolio;
   Encoder::Options encoder;
 };
 

@@ -34,7 +34,13 @@ Result<CpsOutcome> DecideConsistency(const Specification& spec,
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =
         exec::ResolvePool(options.pool, options.num_threads, local_pool);
-    ASSIGN_OR_RETURN(outcome.consistent, decomposed->SolveAll({}, pool));
+    // Portfolio racing is verdict-only: a raced primary can report kSat
+    // without holding a model, so witness extraction keeps every
+    // component on the single-solver path.
+    ASSIGN_OR_RETURN(
+        outcome.consistent,
+        decomposed->SolveAll(
+            {}, pool, options.want_witness ? nullptr : &options.portfolio));
     if (outcome.consistent && options.want_witness) {
       ASSIGN_OR_RETURN(Completion witness, decomposed->ExtractCompletion());
       outcome.witness = std::move(witness);

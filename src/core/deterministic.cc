@@ -17,7 +17,7 @@ namespace internal {
 /// is-last selectors for are examined — the others belong to different
 /// coupling components and are checked against their own encoders.
 Result<bool> DeterministicProbe(const Specification& spec, Encoder* encoder,
-                                int inst) {
+                                int inst, sat::Portfolio* portfolio) {
   const TemporalInstance& instance = spec.instance(inst);
   const Relation& rel = instance.relation();
   // Phase 1 — snapshot every baseline from the model in hand, BEFORE any
@@ -57,12 +57,16 @@ Result<bool> DeterministicProbe(const Specification& spec, Encoder* encoder,
       }
     }
   }
-  // Phase 2 — probe the alternatives.
+  // Phase 2 — probe the alternatives.  Every probe is a bare verdict, so
+  // racing it through a portfolio cannot change the answer.
   for (const Probe& probe : probes) {
     sat::Lit assume =
         sat::MakeLit(encoder->IsLastVar(inst, probe.attr, probe.candidate));
-    if (encoder->solver().SolveWithAssumptions({assume}) ==
-        sat::SolveResult::kSat) {
+    if (portfolio != nullptr) {
+      ASSIGN_OR_RETURN(sat::SolveResult verdict, portfolio->Solve({assume}));
+      if (verdict == sat::SolveResult::kSat) return false;
+    } else if (encoder->solver().SolveWithAssumptions({assume}) ==
+               sat::SolveResult::kSat) {
       return false;
     }
   }
@@ -135,14 +139,28 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
     std::optional<exec::ThreadPool> local_pool;
     exec::ThreadPool* pool =
         exec::ResolvePool(options.pool, options.num_threads, local_pool);
-    ASSIGN_OR_RETURN(bool consistent, decomposed->SolveAll({}, pool));
+    ASSIGN_OR_RETURN(bool consistent,
+                     decomposed->SolveAll({}, pool, &options.portfolio));
     if (!consistent) return true;  // vacuous
     // Each entity group's determinism is decided by its own component
-    // (SolveAll left every component encoder holding a model), so the
-    // groups probe concurrently — one task per component, cancelling the
-    // rest once any witness of non-determinism is found.
-    const std::vector<int>& components =
+    // (SolveAll left every regular component encoder holding a model), so
+    // the groups probe concurrently — one task per component, cancelling
+    // the rest once any witness of non-determinism is found.  Dominant
+    // components leave the ParallelFor: their probes race through the
+    // component portfolio, which owns the pool, so they run sequentially
+    // afterwards (ParallelFor regions must not nest).
+    const std::vector<int>& all_components =
         decomposed->decomposition().ComponentsOfInstance(inst);
+    std::vector<int> components;
+    std::vector<int> dominant;
+    components.reserve(all_components.size());
+    for (int c : all_components) {
+      if (decomposed->PortfolioEligible(c, &options.portfolio, pool)) {
+        dominant.push_back(c);
+      } else {
+        components.push_back(c);
+      }
+    }
     std::vector<char> nondeterministic(components.size(), 0);
     exec::CancellationToken cancel;
     RETURN_IF_ERROR(pool->ParallelFor(
@@ -172,6 +190,20 @@ Result<bool> IsDeterministicForRelation(const Specification& spec,
         &cancel));
     for (char n : nondeterministic) {
       if (n) return false;
+    }
+    for (int c : dominant) {
+      ASSIGN_OR_RETURN(Encoder * encoder, decomposed->ComponentEncoder(c));
+      // The raced base solve was verdict-only, so the primary may hold no
+      // model; re-establish one for the phase-1 baseline snapshot.
+      if (encoder->solver().Solve() != sat::SolveResult::kSat) {
+        return Status::Internal("consistent component re-solved unsat");
+      }
+      ASSIGN_OR_RETURN(
+          sat::Portfolio * race,
+          decomposed->ComponentPortfolio(c, options.portfolio, pool));
+      ASSIGN_OR_RETURN(bool deterministic,
+                       internal::DeterministicProbe(spec, encoder, inst, race));
+      if (!deterministic) return false;
     }
     return true;
   }

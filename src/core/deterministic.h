@@ -15,6 +15,7 @@
 #include "src/core/chase.h"
 #include "src/core/encoder.h"
 #include "src/core/specification.h"
+#include "src/sat/portfolio.h"
 
 namespace currency::exec {
 class ThreadPool;
@@ -42,6 +43,14 @@ struct DcipOptions {
   /// Optional caller-owned pool reused across calls (overrides
   /// `num_threads`; not owned).  See CpsOptions::pool.
   exec::ThreadPool* pool = nullptr;
+  /// Verdict-deterministic portfolio racing for dominant components (off
+  /// by default): the consistency pre-solve and the phase-2 determinism
+  /// probes of components with at least `portfolio.min_component_size`
+  /// entity groups race diversified solvers, first verdict wins.  The
+  /// phase-1 baseline still reads a model, so dominant components
+  /// re-Solve their primary once before probing; the DCIP answer is
+  /// model-independent and thus unchanged.
+  sat::PortfolioOptions portfolio;
   Encoder::Options encoder;
 };
 
@@ -64,9 +73,12 @@ namespace internal {
 /// sequence generally leaves it without one, so callers re-Solve before
 /// probing again.  The answer is model-independent: whichever baseline
 /// model is in hand, some alternative-value candidate is satisfiable iff
-/// the group's current instance is not unique.
+/// the group's current instance is not unique.  When `portfolio` is
+/// non-null (its primary must be `encoder`'s solver), the phase-2 probes
+/// race diversified solvers — verdict-only, so the answer is identical.
 Result<bool> DeterministicProbe(const Specification& spec, Encoder* encoder,
-                                int inst);
+                                int inst,
+                                sat::Portfolio* portfolio = nullptr);
 
 /// The chase-path determinism check shared by the one-shot DCIP solvers
 /// and the serving layer: for every entity group of `inst` inside the

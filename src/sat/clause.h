@@ -76,7 +76,14 @@ class ClauseView {
   static constexpr uint32_t kLearntBit = 1u;
   static constexpr uint32_t kRelocBit = 2u;
   static constexpr uint32_t kDeadBit = 4u;
-  static constexpr int kSizeShift = 3;
+  /// Learnt-DB tier tag (bits 3-4) and the touched-since-last-reduction
+  /// bit (bit 5); see Solver::ReduceDB for the tier lifecycle.  Both ride
+  /// in the header word, so GC relocation (which copies headers verbatim)
+  /// preserves tier state for free.
+  static constexpr int kTierShift = 3;
+  static constexpr uint32_t kTierMask = 3u << kTierShift;
+  static constexpr uint32_t kUsedBit = 1u << 5;
+  static constexpr int kSizeShift = 6;
 
   explicit ClauseView(uint32_t* header)
       : p_(header), lit_base_((*header & kLearntBit) ? 3 : 1) {}
@@ -107,6 +114,23 @@ class ClauseView {
   int lbd() const { return static_cast<int>(p_[2]); }
   void set_lbd(int lbd) { p_[2] = static_cast<uint32_t>(lbd); }
 
+  /// Learnt-DB tier (Solver::kTierCore/kTierMid/kTierLocal) and the
+  /// touched-since-last-reduction mark.  Meaningful only for learnt
+  /// clauses longer than binary; see Solver::ReduceDB.
+  int tier() const { return static_cast<int>((p_[0] & kTierMask) >> kTierShift); }
+  void set_tier(int tier) {
+    p_[0] = (p_[0] & ~kTierMask) |
+            (static_cast<uint32_t>(tier) << kTierShift);
+  }
+  bool used() const { return (p_[0] & kUsedBit) != 0; }
+  void set_used(bool on) {
+    if (on) {
+      p_[0] |= kUsedBit;
+    } else {
+      p_[0] &= ~kUsedBit;
+    }
+  }
+
   /// Words this clause occupies in the arena.
   int num_words() const { return lit_base_ + size(); }
 
@@ -129,6 +153,19 @@ class ClauseArena {
   ClauseView View(CRef c) {
     assert(c < mem_.size());
     return ClauseView(&mem_[c]);
+  }
+
+  /// Hints the clause's header cache line into L2.  Side-effect free;
+  /// propagation issues it for the NEXT watcher while the current one is
+  /// processed, but only when that watcher's blocker did not already
+  /// prove the clause satisfied (a true blocker means the clause is
+  /// never dereferenced, so prefetching it would only pollute the cache).
+  void Prefetch(CRef c) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(mem_.data() + c, /*rw=*/0, /*locality=*/1);
+#else
+    (void)c;
+#endif
   }
 
   /// Marks the clause dead (words reclaimed by the next GC).

@@ -1,0 +1,105 @@
+#include "src/sat/portfolio.h"
+
+#include <atomic>
+#include <cassert>
+#include <optional>
+#include <utility>
+
+namespace currency::sat {
+
+std::vector<Solver::Options> Portfolio::DiversifiedConfigs(int num_rivals) {
+  using PhaseInit = Solver::Options::PhaseInit;
+  using RestartProfile = Solver::Options::RestartProfile;
+  // A fixed decorrelation table: opposite phases first (the cheapest,
+  // strongest diversification on the order encoding, where SAT models
+  // cluster by polarity), then randomized phases under different restart
+  // profiles.  Seeds are arbitrary nonzero constants; rivals beyond the
+  // table repeat it with fresh seeds.
+  static constexpr struct {
+    PhaseInit phase;
+    RestartProfile restarts;
+  } kTable[] = {
+      {PhaseInit::kPositive, RestartProfile::kLuby},
+      {PhaseInit::kRandom, RestartProfile::kFastLuby},
+      {PhaseInit::kRandom, RestartProfile::kGeometric},
+      {PhaseInit::kNegative, RestartProfile::kFastLuby},
+      {PhaseInit::kPositive, RestartProfile::kGeometric},
+      {PhaseInit::kRandom, RestartProfile::kLuby},
+  };
+  constexpr int kTableSize = static_cast<int>(sizeof(kTable) / sizeof(kTable[0]));
+  std::vector<Solver::Options> configs;
+  configs.reserve(static_cast<size_t>(num_rivals > 0 ? num_rivals : 0));
+  for (int k = 0; k < num_rivals; ++k) {
+    const auto& row = kTable[k % kTableSize];
+    Solver::Options options;
+    options.rng_seed = 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(k + 1);
+    options.phase_init = row.phase;
+    options.restart_profile = row.restarts;
+    configs.push_back(options);
+  }
+  return configs;
+}
+
+int Portfolio::RaceWidth() const {
+  if (!options_.enabled || pool_ == nullptr || pool_->num_threads() <= 1) {
+    return 1;
+  }
+  int width = options_.num_solvers;
+  if (width > pool_->num_threads()) width = pool_->num_threads();
+  return width < 1 ? 1 : width;
+}
+
+Result<SolveResult> Portfolio::Solve(const std::vector<Lit>& assumptions) {
+  const int width = RaceWidth();
+  if (width <= 1) {
+    // Pass-through: no rivals, no region, no stop polling — portfolio-on
+    // at one thread IS the single-solver path.
+    return primary_->SolveWithAssumptions(assumptions);
+  }
+  if (!spawned_) {
+    std::vector<Solver::Options> configs = DiversifiedConfigs(width - 1);
+    rivals_.reserve(configs.size());
+    for (int k = 0; k < static_cast<int>(configs.size()); ++k) {
+      ASSIGN_OR_RETURN(Solver * rival, spawn_(k + 1, configs[k]));
+      rivals_.push_back(rival);
+    }
+    spawned_ = true;
+  }
+  std::atomic<bool> stop{false};
+  exec::CancellationToken cancel;
+  std::vector<std::optional<SolveResult>> verdicts(
+      static_cast<size_t>(width));
+  Status status = pool_->ParallelFor(
+      width,
+      [&](int k) -> Status {
+        Solver* solver = k == 0 ? primary_ : rivals_[k - 1];
+        std::optional<SolveResult> verdict =
+            solver->SolveLimited(assumptions, &stop);
+        if (verdict.has_value()) {
+          verdicts[static_cast<size_t>(k)] = verdict;
+          stop.store(true, std::memory_order_relaxed);
+          cancel.Cancel();
+        }
+        return Status::OK();
+      },
+      &cancel);
+  RETURN_IF_ERROR(status);
+  // At least one task ran to completion (the stop flag only rises once a
+  // verdict exists), and sound solvers over one formula cannot disagree.
+  std::optional<SolveResult> verdict;
+  int finished = 0;
+  for (const std::optional<SolveResult>& v : verdicts) {
+    if (!v.has_value()) continue;
+    ++finished;
+    if (!verdict.has_value()) {
+      verdict = v;
+    } else {
+      assert(*verdict == *v && "portfolio solvers disagreed on a verdict");
+    }
+  }
+  assert(finished > 0);
+  primary_->RecordPortfolioRace(width - finished);
+  return *verdict;
+}
+
+}  // namespace currency::sat

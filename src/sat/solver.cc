@@ -109,8 +109,21 @@ Var Solver::NewVar() {
   reason_.push_back(kCRefUndef);
   level_.push_back(0);
   activity_.push_back(0.0);
-  phase_.push_back(-1);
+  int8_t init_phase = -1;
+  switch (options_.phase_init) {
+    case Options::PhaseInit::kNegative:
+      break;
+    case Options::PhaseInit::kPositive:
+      init_phase = 1;
+      break;
+    case Options::PhaseInit::kRandom:
+      init_phase = (rng_state_ != 0 && (NextRandom() & 1) != 0) ? 1 : -1;
+      break;
+  }
+  phase_.push_back(init_phase);
   seen_.push_back(0);
+  lit_stamp_.push_back(0);
+  lit_stamp_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
   bin_watches_.emplace_back();
@@ -222,6 +235,15 @@ CRef Solver::Propagate() {
     size_t keep = 0;
     for (size_t wi = 0; wi < watch_list.size(); ++wi) {
       Watcher w = watch_list[wi];
+      // Blocker-aware prefetch: while this watcher is processed, pull
+      // the NEXT watcher's clause toward the cache — but only when its
+      // blocker fails, because a true blocker means that clause is
+      // skipped without ever being dereferenced.  Entries at wi+1 are
+      // not yet compacted (keep <= wi), so the read is safe.
+      if (wi + 1 < watch_list.size()) {
+        const Watcher& next = watch_list[wi + 1];
+        if (LitValue(next.blocker) <= 0) arena_.Prefetch(next.cref);
+      }
       if (LitValue(w.blocker) > 0) {
         watch_list[keep++] = w;
         continue;
@@ -291,6 +313,37 @@ void Solver::BumpClause(CRef cref) {
   }
 }
 
+int Solver::ClauseLbd(ClauseView c) {
+  lbd_seen_.assign(static_cast<size_t>(DecisionLevel()) + 1, 0);
+  int lbd = 0;
+  int size = c.size();
+  for (int i = 0; i < size; ++i) {
+    int lv = level_[LitVar(c.lit(i))];
+    if (!lbd_seen_[lv]) {
+      lbd_seen_[lv] = 1;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::TouchLearnt(CRef cref) {
+  ClauseView c = arena_.View(cref);
+  c.set_used(true);
+  if (c.tier() == kTierCore) return;  // binaries land here too (tier bits 0)
+  // Glucose-style dynamic LBD: a clause resolved in conflict analysis
+  // has all literals assigned, so its LBD against the current levels is
+  // well defined; an improvement promotes it up the tier ladder.
+  int lbd = ClauseLbd(c);
+  if (lbd >= c.lbd()) return;
+  c.set_lbd(lbd);
+  if (lbd <= kCoreLbdMax) {
+    MoveTier(c, kTierCore);
+  } else if (lbd <= kMidLbdMax && c.tier() == kTierLocal) {
+    MoveTier(c, kTierMid);
+  }
+}
+
 int Solver::LearntLbd(const std::vector<Lit>& learnt) {
   // Must run before backjumping: the literals' levels are still current.
   lbd_seen_.assign(static_cast<size_t>(DecisionLevel()) + 1, 0);
@@ -336,13 +389,27 @@ void Solver::ReduceDB() {
   auto is_locked = [&locked](CRef c) {
     return std::binary_search(locked.begin(), locked.end(), c);
   };
-  // Deletable: learnt, not locked, longer than binary, not glue.
+  // One sweep does the tier maintenance and collects the deletable pool:
+  //  * CORE is kept forever.
+  //  * TIER2 clauses touched since the last reduction stay (used-bit
+  //    rearmed); untouched ones demote to LOCAL and compete there.
+  //  * LOCAL clauses that are not locked are the candidates.
   std::vector<CRef> candidates;
   for (CRef cref : clauses_) {
     ClauseView c = arena_.View(cref);
-    if (c.learnt() && c.size() > 2 && c.lbd() > 2 && !is_locked(cref)) {
-      candidates.push_back(cref);
+    if (!c.learnt() || c.size() <= 2) continue;
+    int tier = c.tier();
+    if (tier == kTierCore) continue;
+    if (tier == kTierMid) {
+      if (c.used()) {
+        c.set_used(false);
+        continue;
+      }
+      MoveTier(c, kTierLocal);
+      ++stats_.demotions;
+      tier = kTierLocal;
     }
+    if (!is_locked(cref)) candidates.push_back(cref);
   }
   if (candidates.empty()) return;
   std::sort(candidates.begin(), candidates.end(), [this](CRef a, CRef b) {
@@ -353,6 +420,7 @@ void Solver::ReduceDB() {
   // Mark the victims dead, unhook their watchers (in place, preserving
   // the survivors' order), drop them from the clause list, and compact.
   for (size_t k = 0; k < target; ++k) arena_.Free(candidates[k]);
+  stats_.tier_local -= static_cast<int64_t>(target);
   auto dead = [this](CRef c) { return arena_.View(c).dead(); };
   for (std::vector<Watcher>& wl : watches_) {
     wl.erase(std::remove_if(wl.begin(), wl.end(),
@@ -401,7 +469,10 @@ int Solver::Analyze(CRef conflict, std::vector<Lit>* learnt) {
   CRef cref = conflict;
   do {
     ClauseView c = arena_.View(cref);
-    if (c.learnt()) BumpClause(cref);
+    if (c.learnt()) {
+      BumpClause(cref);
+      TouchLearnt(cref);
+    }
     int size = c.size();
     for (int i = 0; i < size; ++i) {
       Lit q = c.lit(i);
@@ -432,6 +503,23 @@ int Solver::Analyze(CRef conflict, std::vector<Lit>* learnt) {
   } while (path_count > 0);
   (*learnt)[0] = Negate(p);
 
+  // Minimize before LearntLbd/backjump, while the literals' levels are
+  // still current.  The asserting literal learnt[0] is never a removal
+  // candidate.  analyze_toclear_ collects every var whose seen_ mark
+  // must be wiped: the learnt literals themselves plus LitRedundant's
+  // removable/failed memoization marks.
+  analyze_toclear_.assign(learnt->begin() + 1, learnt->end());
+  size_t out = 1;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    Lit l = (*learnt)[i];
+    if (reason_[LitVar(l)] == kCRefUndef || !LitRedundant(l)) {
+      (*learnt)[out++] = l;
+    }
+  }
+  stats_.minimized_literals += static_cast<int64_t>(learnt->size() - out);
+  learnt->resize(out);
+  MinimizeWithBinaryResolution(learnt);
+
   // Backjump level: second-highest level in the learnt clause.
   int bj_level = 0;
   size_t max_i = 1;
@@ -443,11 +531,106 @@ int Solver::Analyze(CRef conflict, std::vector<Lit>* learnt) {
     }
   }
   if (learnt->size() > 1) std::swap((*learnt)[1], (*learnt)[max_i]);
-  for (size_t i = 1; i < learnt->size(); ++i) seen_[LitVar((*learnt)[i])] = 0;
+  for (Lit l : analyze_toclear_) seen_[LitVar(l)] = 0;
   return bj_level;
 }
 
+bool Solver::LitRedundant(Lit p) {
+  // seen_ marks: 1 = in the learnt clause (trivially supported), 2 =
+  // proven removable, 3 = proven not removable.  Marks persist across
+  // the LitRedundant calls of one Analyze (memoization) and are wiped
+  // via analyze_toclear_ at its end.
+  constexpr int8_t kSource = 1, kRemovable = 2, kFailed = 3;
+  assert(reason_[LitVar(p)] != kCRefUndef);
+  analyze_frames_.clear();
+  Lit cur = p;
+  int idx = 0;
+  while (true) {
+    ClauseView c = arena_.View(reason_[LitVar(cur)]);
+    if (idx < c.size()) {
+      Lit l = c.lit(idx++);
+      Var v = LitVar(l);
+      // Skip the implied literal itself (by VALUE — binary reasons keep
+      // their stored order), root-level facts, and already-supported
+      // antecedents.
+      if (v == LitVar(cur) || level_[v] == 0 || seen_[v] == kSource ||
+          seen_[v] == kRemovable) {
+        continue;
+      }
+      if (reason_[v] == kCRefUndef || seen_[v] == kFailed) {
+        // Dead end: a decision (or known-failed) antecedent.  Everything
+        // on the open DFS path inherits the failure; source marks stay.
+        if (seen_[LitVar(cur)] == 0) {
+          seen_[LitVar(cur)] = kFailed;
+          analyze_toclear_.push_back(cur);
+        }
+        for (const auto& frame : analyze_frames_) {
+          Var fv = LitVar(frame.second);
+          if (seen_[fv] == 0) {
+            seen_[fv] = kFailed;
+            analyze_toclear_.push_back(frame.second);
+          }
+        }
+        return false;
+      }
+      // Descend into l's reason.
+      analyze_frames_.emplace_back(idx, cur);
+      cur = l;
+      idx = 0;
+    } else {
+      // Every antecedent of cur is supported: cur is removable.
+      if (seen_[LitVar(cur)] == 0) {
+        seen_[LitVar(cur)] = kRemovable;
+        analyze_toclear_.push_back(cur);
+      }
+      if (analyze_frames_.empty()) return true;
+      idx = analyze_frames_.back().first;
+      cur = analyze_frames_.back().second;
+      analyze_frames_.pop_back();
+    }
+  }
+}
+
+void Solver::MinimizeWithBinaryResolution(std::vector<Lit>* learnt) {
+  // Glucose-style: bounded to shortish clauses where the scan pays off.
+  if (learnt->size() <= 2 || learnt->size() > 30) return;
+  Lit asserting = (*learnt)[0];
+  const std::vector<BinWatcher>& bins = bin_watches_[Negate(asserting)];
+  if (bins.empty()) return;
+  // Stamp generation g marks "present in the learnt clause"; g+1 marks
+  // "subsumed away by a binary".
+  uint64_t gen = (stamp_gen_ += 2);
+  for (size_t i = 1; i < learnt->size(); ++i) lit_stamp_[(*learnt)[i]] = gen;
+  int removed = 0;
+  for (const BinWatcher& w : bins) {
+    // w encodes the binary clause (asserting ∨ w.other); resolving it
+    // against (asserting ∨ ¬w.other ∨ R) drops ¬w.other.
+    Lit q = Negate(w.other);
+    if (lit_stamp_[q] == gen) {
+      lit_stamp_[q] = gen + 1;
+      ++removed;
+    }
+  }
+  if (removed == 0) return;
+  size_t out = 1;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    Lit l = (*learnt)[i];
+    if (lit_stamp_[l] != gen + 1) (*learnt)[out++] = l;
+  }
+  assert(out + static_cast<size_t>(removed) == learnt->size());
+  learnt->resize(out);
+  stats_.minimized_literals += removed;
+}
+
 Lit Solver::PickBranchLit() {
+  // Diversified solvers (rng_seed != 0) occasionally branch on a random
+  // variable instead of the VSIDS maximum — the classic portfolio
+  // decorrelator.  The default configuration never reaches this block,
+  // keeping the undiversified search bit-identical.
+  if (rng_state_ != 0 && (NextRandom() & 63u) == 0 && NumVars() > 0) {
+    Var v = static_cast<Var>(NextRandom() % static_cast<uint64_t>(NumVars()));
+    if (assign_[v] == 0) return MakeLit(v, phase_[v] < 0);
+  }
   while (!order_heap_.Empty()) {
     Var v = order_heap_.PopMax(activity_);
     if (assign_[v] == 0) return MakeLit(v, phase_[v] < 0);
@@ -473,7 +656,21 @@ double Solver::Luby(double y, int x) {
   return std::pow(y, seq);
 }
 
-SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
+int64_t Solver::RestartInterval(int restart_count) const {
+  switch (options_.restart_profile) {
+    case Options::RestartProfile::kFastLuby:
+      return static_cast<int64_t>(32 * Luby(2.0, restart_count));
+    case Options::RestartProfile::kGeometric:
+      return static_cast<int64_t>(
+          100.0 * std::pow(1.5, std::min(restart_count, 40)));
+    case Options::RestartProfile::kLuby:
+      break;
+  }
+  return static_cast<int64_t>(100 * Luby(2.0, restart_count));
+}
+
+std::optional<SolveResult> Solver::SolveLimited(
+    const std::vector<Lit>& assumptions, const std::atomic<bool>* stop) {
   ConfinementGuard guard(*this);
   CancelUntil(0);
   if (!ok_) return SolveResult::kUnsat;
@@ -488,12 +685,25 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
   if (g_gc_stress.load(std::memory_order_relaxed)) GarbageCollect();
 
   int restart_count = 0;
-  int64_t conflicts_until_restart =
-      static_cast<int64_t>(100 * Luby(2.0, restart_count));
+  int64_t conflicts_until_restart = RestartInterval(restart_count);
   int64_t conflicts_this_restart = 0;
   std::vector<Lit> learnt;
+  // Cooperative interruption: poll `stop` every few hundred loop
+  // iterations (each runs a full Propagate, so checks stay off the hot
+  // path).  An interrupted solve unwinds to level 0 and reports "no
+  // verdict"; the learnt clauses it accumulated are implied, so the
+  // solver remains sound for later calls.
+  constexpr int kStopCheckInterval = 256;
+  int until_stop_check = kStopCheckInterval;
 
   while (true) {
+    if (stop != nullptr && --until_stop_check <= 0) {
+      until_stop_check = kStopCheckInterval;
+      if (stop->load(std::memory_order_relaxed)) {
+        CancelUntil(0);
+        return std::nullopt;
+      }
+    }
     CRef confl = Propagate();
     if (confl != kCRefUndef) {
       ++stats_.conflicts;
@@ -523,6 +733,15 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
         clauses_.push_back(cref);
         ++stats_.learnt_clauses;
         ++num_learnts_;
+        if (learnt.size() > 2) {
+          // Initial tier by LBD at learn time; binaries stay outside the
+          // tiered DB (they are never deletable).
+          int tier = lbd <= kCoreLbdMax  ? kTierCore
+                     : lbd <= kMidLbdMax ? kTierMid
+                                         : kTierLocal;
+          arena_.View(cref).set_tier(tier);
+          ++*TierCounter(tier);
+        }
         Attach(cref);
         UncheckedEnqueue(learnt[0], cref);
         SyncArenaStats();
@@ -532,8 +751,7 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions) {
         ++stats_.restarts;
         ++restart_count;
         conflicts_this_restart = 0;
-        conflicts_until_restart =
-            static_cast<int64_t>(100 * Luby(2.0, restart_count));
+        conflicts_until_restart = RestartInterval(restart_count);
         CancelUntil(0);
         MaybeReduceDB();
         if (g_gc_stress.load(std::memory_order_relaxed)) GarbageCollect();

@@ -56,6 +56,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/sat/clause.h"
@@ -78,6 +80,21 @@ struct SolverStats {
   int64_t gc_runs = 0;
   /// Current size of the flat clause buffer, in bytes.
   int64_t arena_bytes = 0;
+  /// Literals removed from learnt clauses before attachment (recursive
+  /// litRedundant minimization + binary self-subsumption combined).
+  int64_t minimized_literals = 0;
+  /// Live learnt clauses (longer than binary) currently in each tier.
+  int64_t tier_core = 0;
+  int64_t tier_tier2 = 0;
+  int64_t tier_local = 0;
+  /// TIER2 clauses demoted to LOCAL for going untouched across a
+  /// reduction.
+  int64_t demotions = 0;
+  /// Portfolio races this solver fronted as the primary, and rival
+  /// solvers cancelled (or skipped) once a verdict landed.  Bumped by
+  /// sat::Portfolio via RecordPortfolioRace, never by the solver itself.
+  int64_t portfolio_races = 0;
+  int64_t portfolio_cancelled = 0;
 };
 
 /// A CDCL solver.  Typical use:
@@ -87,7 +104,26 @@ struct SolverStats {
 ///   if (s.Solve() == SolveResult::kSat) { bool va = s.ModelValue(a); ... }
 class Solver {
  public:
+  /// Search-diversification knobs for portfolio solving.  The DEFAULTS
+  /// reproduce the undiversified search bit-for-bit (negative phase
+  /// init, Luby-100 restarts, no randomness): a default-constructed
+  /// Solver and a Solver(Options{}) run identical searches, which is
+  /// what keeps the single-solver determinism contracts (enumeration
+  /// order, GC transparency) intact everywhere the portfolio is off.
+  struct Options {
+    enum class PhaseInit { kNegative, kPositive, kRandom };
+    enum class RestartProfile { kLuby, kFastLuby, kGeometric };
+    /// 0 disables all randomness.  Nonzero seeds an xorshift64 stream
+    /// used for kRandom phase initialization and occasional random
+    /// branch picks — deterministic per seed, different across seeds.
+    uint64_t rng_seed = 0;
+    PhaseInit phase_init = PhaseInit::kNegative;
+    RestartProfile restart_profile = RestartProfile::kLuby;
+  };
+
   Solver() = default;
+  explicit Solver(const Options& options)
+      : options_(options), rng_state_(options.rng_seed) {}
 
   /// Allocates a fresh variable and returns it.
   Var NewVar();
@@ -110,7 +146,31 @@ class Solver {
 
   /// Solves under the given assumption literals.  The assumptions are not
   /// added to the formula; they only constrain this call.
-  SolveResult SolveWithAssumptions(const std::vector<Lit>& assumptions);
+  SolveResult SolveWithAssumptions(const std::vector<Lit>& assumptions) {
+    return *SolveLimited(assumptions, nullptr);
+  }
+
+  /// Interruptible variant: `stop` (may be null) is polled every few
+  /// hundred search loop iterations; once it reads true the search
+  /// unwinds to level 0 and returns nullopt — no verdict.  The solver
+  /// stays fully usable: clauses learnt before the interrupt are implied
+  /// by the formula, so later calls remain sound and verdict-correct.
+  /// This is the portfolio's first-verdict-wins cancellation hook; the
+  /// solver itself never depends on src/exec.
+  std::optional<SolveResult> SolveLimited(const std::vector<Lit>& assumptions,
+                                          const std::atomic<bool>* stop);
+
+  /// Accounting hook for sat::Portfolio: records one verdict race
+  /// fronted by this (primary) solver and how many rival solvers were
+  /// cancelled or skipped once the verdict landed.  Lives in
+  /// SolverStats so the serving layer's solve-boundary delta sampling
+  /// exports portfolio counters with no extra plumbing.
+  void RecordPortfolioRace(int cancelled_rivals) {
+    ++stats_.portfolio_races;
+    stats_.portfolio_cancelled += cancelled_rivals;
+  }
+
+  const Options& options() const { return options_; }
 
   /// Value of `v` in the most recent satisfying model.  Requires the last
   /// Solve call to have returned kSat.
@@ -198,8 +258,22 @@ class Solver {
   /// 1UIP conflict analysis; fills `learnt` (learnt[0] is the asserting
   /// literal) and returns the backjump level.  Skips the resolved
   /// literal by value, not by position — binary reasons keep their
-  /// stored literal order.
+  /// stored literal order.  Before returning, the learnt clause is
+  /// minimized (LitRedundant + MinimizeWithBinaryResolution); the
+  /// asserting literal learnt[0] is never removed.
   int Analyze(CRef conflict, std::vector<Lit>* learnt);
+  /// True iff learnt literal `p` is redundant: implied by the remaining
+  /// learnt literals through the implication graph (MiniSat's recursive
+  /// litRedundant, run as an explicit-frame DFS so deep implication
+  /// chains cannot overflow the native stack).  Requires reason_[var(p)]
+  /// != kCRefUndef.  Marks visited vars removable/failed in seen_ for
+  /// memoization across the literals of one learnt clause; every mark is
+  /// registered in analyze_toclear_ for Analyze to wipe.
+  bool LitRedundant(Lit p);
+  /// Self-subsumption against the binary clauses of the asserting
+  /// literal a = learnt[0]: (a ∨ q ∨ R) resolved with a binary (a ∨ ¬q)
+  /// drops q.  Never touches learnt[0].
+  void MinimizeWithBinaryResolution(std::vector<Lit>* learnt);
   /// Attaches a clause to the (binary or long) watch lists.
   void Attach(CRef cref);
   /// Picks the next branching literal (VSIDS + saved phase), or kLitUndef.
@@ -213,12 +287,42 @@ class Solver {
   /// Literal block distance of a freshly learnt clause: the number of
   /// distinct decision levels among its literals.
   int LearntLbd(const std::vector<Lit>& learnt);
-  /// Deletes the lowest-activity half of the deletable learnt clauses
-  /// (keeping locked reason clauses, binaries, and low-LBD glue), then
-  /// compacts the arena.  Requires decision level 0 with propagation
-  /// complete.  Without this, learnt clauses and the model enumerator's
-  /// long blocking-clause runs (DCIP/CCQA) degrade propagation and
-  /// memory without bound.
+
+  // --- three-tier learnt-clause DB (Glucose/Chanseok-Oh style) ---
+  // CORE (LBD <= kCoreLbdMax): kept forever.  TIER2 (LBD <=
+  // kMidLbdMax): kept while touched; demoted to LOCAL when untouched
+  // across a reduction.  LOCAL: activity-ranked, worst half deleted at
+  // every reduction.  Tier tags live in the arena header word and so
+  // survive GC relocation verbatim.  Learnt binaries stay outside the
+  // tiered DB entirely (they are never deletable).
+  static constexpr int kTierCore = 0;
+  static constexpr int kTierMid = 1;
+  static constexpr int kTierLocal = 2;
+  static constexpr int kCoreLbdMax = 3;
+  static constexpr int kMidLbdMax = 6;
+  int64_t* TierCounter(int tier) {
+    return tier == kTierCore   ? &stats_.tier_core
+           : tier == kTierMid ? &stats_.tier_tier2
+                               : &stats_.tier_local;
+  }
+  void MoveTier(ClauseView c, int to) {
+    --*TierCounter(c.tier());
+    ++*TierCounter(to);
+    c.set_tier(to);
+  }
+  /// Marks a learnt clause touched (it participated in conflict
+  /// analysis), recomputes its LBD against current levels, and promotes
+  /// it on improvement (to CORE, or LOCAL -> TIER2).
+  void TouchLearnt(CRef cref);
+  /// LBD of an attached clause whose literals are all assigned.
+  int ClauseLbd(ClauseView c);
+
+  /// Tier-driven reduction: demotes untouched TIER2 clauses to LOCAL,
+  /// then deletes the lowest-activity half of the unlocked LOCAL pool
+  /// (CORE and binaries are never deleted) and compacts the arena.
+  /// Requires decision level 0 with propagation complete.  Without this,
+  /// learnt clauses and the model enumerator's long blocking-clause runs
+  /// (DCIP/CCQA) degrade propagation and memory without bound.
   void ReduceDB();
   /// Runs ReduceDB when the learnt-clause count exceeds the adaptive
   /// limit, growing the limit after each reduction.
@@ -231,6 +335,18 @@ class Solver {
   void SyncArenaStats() { stats_.arena_bytes = arena_.size_bytes(); }
   /// Luby sequence value for restart scheduling.
   static double Luby(double y, int x);
+  /// Conflicts allotted to restart number `restart_count` under the
+  /// configured restart profile.
+  int64_t RestartInterval(int restart_count) const;
+  /// Deterministic xorshift64 stream; only called when rng_state_ != 0.
+  uint64_t NextRandom() {
+    uint64_t x = rng_state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_state_ = x;
+    return x;
+  }
 
   bool ok_ = true;
   ClauseArena arena_;
@@ -257,8 +373,21 @@ class Solver {
   int64_t max_learnts_ = 512;
   VarOrderHeap order_heap_;
   std::vector<int8_t> model_;
-  std::vector<int8_t> seen_;    // scratch for Analyze
-  std::vector<char> lbd_seen_;  // scratch for LearntLbd
+  /// Scratch for Analyze/LitRedundant.  Values: 0 unvisited, 1 in the
+  /// learnt clause (source), 2 proven removable, 3 proven not removable.
+  std::vector<int8_t> seen_;
+  std::vector<char> lbd_seen_;  // scratch for LearntLbd/ClauseLbd
+  /// Every literal whose seen_ mark must be wiped at the end of Analyze
+  /// (learnt literals plus LitRedundant's memoization marks).
+  std::vector<Lit> analyze_toclear_;
+  /// Explicit DFS frames for LitRedundant: (resume index, literal).
+  std::vector<std::pair<int, Lit>> analyze_frames_;
+  /// Per-literal generation stamps for MinimizeWithBinaryResolution.
+  std::vector<uint64_t> lit_stamp_;
+  uint64_t stamp_gen_ = 0;
+
+  Options options_;
+  uint64_t rng_state_ = 0;  ///< 0 = randomness disabled
 
   SolverStats stats_;
 

@@ -147,7 +147,7 @@ Result<bool> CurrencySession::CpsCheck() {
     epoch = Pin();
   }
   obs::TraceSpan::Stage stage("solve", stage_counters_);
-  return epoch->EnsureAllSolved(pool_);
+  return epoch->EnsureAllSolved(pool_, &options_.portfolio);
 }
 
 Result<std::vector<bool>> CurrencySession::CopBatch(
@@ -183,7 +183,8 @@ Result<std::vector<bool>> CurrencySession::CopBatch(
   bool consistent = false;
   {
     obs::TraceSpan::Stage stage("base_solve", stage_counters_);
-    ASSIGN_OR_RETURN(consistent, epoch->EnsureAllSolved(pool_));
+    ASSIGN_OR_RETURN(consistent,
+                     epoch->EnsureAllSolved(pool_, &options_.portfolio));
   }
   std::vector<bool> out(queries.size(), true);
   if (!consistent) return out;  // Mod(S) = ∅: every order vacuously certain
@@ -291,7 +292,8 @@ Result<std::vector<bool>> CurrencySession::DcipBatch(
   bool consistent = false;
   {
     obs::TraceSpan::Stage stage("base_solve", stage_counters_);
-    ASSIGN_OR_RETURN(consistent, epoch->EnsureAllSolved(pool_));
+    ASSIGN_OR_RETURN(consistent,
+                     epoch->EnsureAllSolved(pool_, &options_.portfolio));
   }
   std::vector<bool> out(relations.size(), true);
   if (!consistent) return out;  // vacuous
@@ -375,7 +377,8 @@ Result<std::vector<CcqaResponse>> CurrencySession::CcqaBatch(
   bool consistent = false;
   {
     obs::TraceSpan::Stage stage("base_solve", stage_counters_);
-    ASSIGN_OR_RETURN(consistent, epoch->EnsureAllSolved(pool_));
+    ASSIGN_OR_RETURN(consistent,
+                     epoch->EnsureAllSolved(pool_, &options_.portfolio));
   }
   std::vector<CcqaResponse> out(requests.size());
   if (!consistent) {

@@ -1,0 +1,288 @@
+// Property suite for sat::Portfolio (src/sat/portfolio.h): verdict
+// determinism of the diversified solver race.
+//
+//  * VERDICT EQUALITY: for every CNF, seed and pool width, the race's
+//    verdict equals a lone reference solver's verdict — SAT/UNSAT is a
+//    property of the formula, so who wins the race cannot matter.
+//  * PASS-THROUGH: at one thread (or one configured solver) the race
+//    never spawns rivals, never opens a region, and records no race —
+//    portfolio-on must be byte-identical to portfolio-off there.
+//  * CANCELLATION: losers are interrupted mid-search via the stop flag;
+//    an interrupted primary must remain sound and reusable (learnt
+//    clauses are implied), and race/cancel counters must accumulate in
+//    the primary's stats.
+//
+// scripts/check.sh re-runs this suite under ThreadSanitizer (the race IS
+// a data-race honeypot: stop flag, verdict slots, cancellation token) and
+// AddressSanitizer (rival solver lifetimes).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+#include "src/sat/portfolio.h"
+#include "src/sat/solver.h"
+
+namespace currency::sat {
+namespace {
+
+std::vector<std::vector<Lit>> RandomClauses(std::mt19937* rng, int num_vars,
+                                            int count) {
+  std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  std::vector<std::vector<Lit>> cnf;
+  for (int c = 0; c < count; ++c) {
+    std::vector<Lit> clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(MakeLit(var_dist(*rng), sign_dist(*rng) == 1));
+    }
+    cnf.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+/// Gated pigeonhole: UNSAT under the gate assumption, SAT without it;
+/// slow enough that losing racers are genuinely interrupted mid-search.
+Var AddGatedPigeonhole(Solver* s, int pigeons, int holes) {
+  Var gate = s->NewVar();
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) x[p][h] = s->NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c{MakeLit(gate, true)};
+    for (int h = 0; h < holes; ++h) c.push_back(MakeLit(x[p][h]));
+    EXPECT_TRUE(s->AddClause(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        EXPECT_TRUE(
+            s->AddClause({MakeLit(x[p1][h], true), MakeLit(x[p2][h], true)}));
+      }
+    }
+  }
+  return gate;
+}
+
+/// A test harness owning a primary plus lazily spawned rival solvers
+/// loaded with the same recorded formula.
+struct Race {
+  explicit Race(const Solver::Options& primary_options = {})
+      : primary(std::make_unique<Solver>(primary_options)) {}
+
+  Var NewVar() {
+    num_vars++;
+    return primary->NewVar();
+  }
+  void Add(const std::vector<Lit>& clause) {
+    (void)primary->AddClause(clause);
+    cnf.push_back(clause);
+  }
+  /// Gated pigeonhole routed through Add() so rivals can replay it.
+  Var Pigeonhole(int pigeons, int holes) {
+    Var gate = NewVar();
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; ++p) {
+      for (int h = 0; h < holes; ++h) x[p][h] = NewVar();
+    }
+    for (int p = 0; p < pigeons; ++p) {
+      std::vector<Lit> c{MakeLit(gate, true)};
+      for (int h = 0; h < holes; ++h) c.push_back(MakeLit(x[p][h]));
+      Add(c);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          Add({MakeLit(x[p1][h], true), MakeLit(x[p2][h], true)});
+        }
+      }
+    }
+    return gate;
+  }
+
+  Portfolio Make(const PortfolioOptions& options, exec::ThreadPool* pool) {
+    return Portfolio(
+        primary.get(),
+        [this](int /*config*/,
+               const Solver::Options& opts) -> Result<Solver*> {
+          auto rival = std::make_unique<Solver>(opts);
+          for (int i = 0; i < num_vars; ++i) rival->NewVar();
+          for (const auto& clause : cnf) (void)rival->AddClause(clause);
+          rivals.push_back(std::move(rival));
+          return rivals.back().get();
+        },
+        options, pool);
+  }
+
+  std::unique_ptr<Solver> primary;
+  std::vector<std::unique_ptr<Solver>> rivals;
+  std::vector<std::vector<Lit>> cnf;
+  int num_vars = 0;
+};
+
+class PortfolioProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PortfolioProperty, VerdictsMatchReferenceAcrossThreadWidths) {
+  const int seed = GetParam();
+  for (int threads : {1, 2, 8}) {
+    std::mt19937 rng(static_cast<unsigned>(seed) * 7919 + 13);
+    const int num_vars = 14;
+    // Reference: a lone default solver over the same stream.
+    Solver reference;
+    for (int i = 0; i < num_vars; ++i) reference.NewVar();
+    Race race;
+    for (int i = 0; i < num_vars; ++i) race.NewVar();
+    exec::ThreadPool pool(threads);
+    PortfolioOptions options;
+    options.enabled = true;
+    options.num_solvers = 4;
+    Portfolio portfolio = race.Make(options, &pool);
+    std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+    std::uniform_int_distribution<int> sign_dist(0, 1);
+    for (int round = 0; round < 4; ++round) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads) +
+                   " round=" + std::to_string(round));
+      for (auto& clause : RandomClauses(&rng, num_vars, 12)) {
+        (void)reference.AddClause(clause);
+        race.Add(clause);
+      }
+      auto verdict = portfolio.Solve();
+      ASSERT_TRUE(verdict.ok()) << verdict.status();
+      ASSERT_EQ(*verdict, reference.Solve());
+      if (*verdict == SolveResult::kUnsat) break;
+      std::vector<Lit> assumptions{
+          MakeLit(var_dist(rng), sign_dist(rng) == 1),
+          MakeLit(var_dist(rng), sign_dist(rng) == 1)};
+      auto probe = portfolio.Solve(assumptions);
+      ASSERT_TRUE(probe.ok()) << probe.status();
+      ASSERT_EQ(*probe, reference.SolveWithAssumptions(assumptions));
+    }
+  }
+}
+
+TEST(PortfolioTest, PassThroughAtOneThreadSpawnsNothing) {
+  exec::ThreadPool pool(1);
+  Race race;
+  Var gate = race.Pigeonhole(5, 4);
+  PortfolioOptions options;
+  options.enabled = true;
+  options.num_solvers = 4;
+  Portfolio portfolio = race.Make(options, &pool);
+  EXPECT_EQ(portfolio.RaceWidth(), 1);
+  auto unsat = portfolio.Solve({MakeLit(gate)});
+  ASSERT_TRUE(unsat.ok()) << unsat.status();
+  EXPECT_EQ(*unsat, SolveResult::kUnsat);
+  auto sat = portfolio.Solve();
+  ASSERT_TRUE(sat.ok()) << sat.status();
+  EXPECT_EQ(*sat, SolveResult::kSat);
+  // Pass-through means pass-through: no rivals built, no race recorded —
+  // byte-identical to running the primary alone.
+  EXPECT_TRUE(race.rivals.empty());
+  EXPECT_EQ(race.primary->stats().portfolio_races, 0);
+  EXPECT_EQ(race.primary->stats().portfolio_cancelled, 0);
+}
+
+TEST(PortfolioTest, DisabledIsPassThroughEvenOnWidePools) {
+  exec::ThreadPool pool(4);
+  Race race;
+  Var gate = race.Pigeonhole(5, 4);
+  PortfolioOptions options;  // enabled defaults to false
+  Portfolio portfolio = race.Make(options, &pool);
+  EXPECT_EQ(portfolio.RaceWidth(), 1);
+  auto verdict = portfolio.Solve({MakeLit(gate)});
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  EXPECT_EQ(*verdict, SolveResult::kUnsat);
+  EXPECT_TRUE(race.rivals.empty());
+  EXPECT_EQ(race.primary->stats().portfolio_races, 0);
+}
+
+TEST(PortfolioTest, RaceAccountingAndReusabilityAfterCancellation) {
+  exec::ThreadPool pool(4);
+  Race race;
+  Var gate = race.Pigeonhole(7, 6);
+  PortfolioOptions options;
+  options.enabled = true;
+  options.num_solvers = 4;
+  Portfolio portfolio = race.Make(options, &pool);
+  EXPECT_GT(portfolio.RaceWidth(), 1);
+  // Repeated races over the same reusable portfolio: some losers are
+  // interrupted mid-search, and every interrupted solver must stay sound
+  // for the next round (learnt clauses are implied).
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    auto unsat = portfolio.Solve({MakeLit(gate)});
+    ASSERT_TRUE(unsat.ok()) << unsat.status();
+    EXPECT_EQ(*unsat, SolveResult::kUnsat);
+    auto sat = portfolio.Solve();
+    ASSERT_TRUE(sat.ok()) << sat.status();
+    EXPECT_EQ(*sat, SolveResult::kSat);
+  }
+  EXPECT_EQ(race.rivals.size(),
+            static_cast<size_t>(portfolio.RaceWidth() - 1));
+  EXPECT_EQ(race.primary->stats().portfolio_races, 6);
+  EXPECT_GE(race.primary->stats().portfolio_cancelled, 0);
+  // After every race the primary is still a plain solver: single-solver
+  // calls keep working and agree with the raced verdicts.
+  EXPECT_EQ(race.primary->SolveWithAssumptions({MakeLit(gate)}),
+            SolveResult::kUnsat);
+  EXPECT_EQ(race.primary->Solve(), SolveResult::kSat);
+}
+
+TEST_P(PortfolioProperty, CancellationTimingFuzz) {
+  // Fuzz the cancellation window: rivals race formulas of varying
+  // hardness so the stop flag lands at different points of the search
+  // (propagation loops, restarts, mid-analysis).  Whatever the timing,
+  // verdicts stay correct and the portfolio stays reusable.
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed) * 2663 + 7);
+  exec::ThreadPool pool(seed % 2 == 0 ? 2 : 8);
+  Race race;
+  std::uniform_int_distribution<int> size_dist(4, 6);
+  int pigeons = size_dist(rng);
+  Var gate = race.Pigeonhole(pigeons, pigeons - 1);
+  PortfolioOptions options;
+  options.enabled = true;
+  options.num_solvers = (seed % 3) + 2;
+  Portfolio portfolio = race.Make(options, &pool);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " round=" + std::to_string(round));
+    auto unsat = portfolio.Solve({MakeLit(gate)});
+    ASSERT_TRUE(unsat.ok()) << unsat.status();
+    EXPECT_EQ(*unsat, SolveResult::kUnsat);
+    auto sat = portfolio.Solve();
+    ASSERT_TRUE(sat.ok()) << sat.status();
+    EXPECT_EQ(*sat, SolveResult::kSat);
+  }
+  EXPECT_EQ(race.primary->stats().portfolio_races, 6);
+}
+
+TEST(SolveLimitedTest, PreRaisedStopInterruptsAndLeavesSolverUsable) {
+  Solver solver;
+  Var gate = AddGatedPigeonhole(&solver, 6, 5);
+  std::atomic<bool> stop{true};  // raised before the solve starts
+  std::optional<SolveResult> interrupted =
+      solver.SolveLimited({MakeLit(gate)}, &stop);
+  EXPECT_FALSE(interrupted.has_value());
+  // The interrupted solver must be fully reusable, with no trace of the
+  // abandoned search in its answers.
+  EXPECT_EQ(solver.SolveWithAssumptions({MakeLit(gate)}), SolveResult::kUnsat);
+  EXPECT_EQ(solver.Solve(), SolveResult::kSat);
+  // And a null stop pointer means "never interrupt".
+  std::optional<SolveResult> ran = solver.SolveLimited({MakeLit(gate)}, nullptr);
+  ASSERT_TRUE(ran.has_value());
+  EXPECT_EQ(*ran, SolveResult::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PortfolioProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace currency::sat

@@ -302,6 +302,75 @@ std::string BatchTranscript(CurrencySession* session) {
   return out;
 }
 
+// Portfolio racing must not perturb anything: a session with portfolio
+// base solves enabled (and the component-size gate lowered so these
+// small random components actually race) must produce a bit-identical
+// batch transcript — CPS, COP, DCIP, CCQA answer sets, memberships and
+// enumeration orders — to a portfolio-off session over the same
+// specification and edit sequence, at every thread count.
+TEST(SessionEquivalence, PortfolioOnMatchesPortfolioOff) {
+  // Variant 3: every component constrained, hence SAT-routed and (with
+  // the gate at 1) portfolio-eligible.  Variant 5: mixed chase/SAT.
+  for (int variant : {3, 5}) {
+    bool with_copy = variant & 1;
+    bool with_constraints = (variant & 2) || variant >= 4;
+    double free_fraction = variant >= 4 ? 0.5 : 0.0;
+    core::Specification spec =
+        MakeRandomSpec(77 * 1237 + variant, with_copy, with_constraints,
+                       free_fraction);
+    for (int threads : kThreadCounts) {
+      SCOPED_TRACE("variant=" + std::to_string(variant) +
+                   " threads=" + std::to_string(threads));
+      auto make_session = [&](bool portfolio_on) {
+        SessionOptions options;
+        options.num_threads = threads;
+        if (portfolio_on) {
+          options.portfolio.enabled = true;
+          options.portfolio.num_solvers = 3;
+          options.portfolio.min_component_size = 1;
+        }
+        auto session = CurrencySession::Create(spec, options);
+        EXPECT_TRUE(session.ok()) << session.status();
+        return std::move(session).value();
+      };
+      auto off = make_session(false);
+      auto on = make_session(true);
+      if (::testing::Test::HasFailure()) return;
+
+      EXPECT_EQ(BatchTranscript(on.get()), BatchTranscript(off.get()));
+      std::mt19937 rng(variant * 101 + threads);
+      for (int round = 0; round < 2; ++round) {
+        std::vector<core::TupleEdit> edits = MakeRandomEdits(off->spec(),
+                                                             rng);
+        Status st_off = off->Mutate(edits);
+        Status st_on = on->Mutate(edits);
+        EXPECT_EQ(st_off.code(), st_on.code());
+        EXPECT_EQ(BatchTranscript(on.get()), BatchTranscript(off.get()))
+            << "round=" << round;
+      }
+      // Race accounting: pass-through at one thread records nothing (the
+      // single-solver path IS the portfolio path there); with real
+      // concurrency and every component eligible, the cold base solves
+      // must have raced.
+      int64_t races = on->registry()
+                          ->GetCounter("currency_sat_portfolio_races_total",
+                                       obs::Labels{})
+                          ->Value();
+      if (threads == 1) {
+        EXPECT_EQ(races, 0);
+      } else if (variant == 3) {
+        EXPECT_GT(races, 0) << "no base solve raced despite eligibility";
+      }
+      int64_t off_races = off->registry()
+                              ->GetCounter(
+                                  "currency_sat_portfolio_races_total",
+                                  obs::Labels{})
+                              ->Value();
+      EXPECT_EQ(off_races, 0);
+    }
+  }
+}
+
 // Tracing must not perturb anything: a session running under a live,
 // enabled tracer (spans opened, stages attached, timers firing) must
 // produce a bit-identical batch transcript to an untraced session over
